@@ -1,0 +1,128 @@
+//! Asynchronous agreement attempts.
+//!
+//! Corollary 13 (no asynchronous f-resilient k-set agreement for
+//! `k ≤ f`) is verified computationally by the decision-map solver over
+//! `A^r` (see [`crate::experiments`]). This module provides the positive
+//! side: [`WaitForAll`], which solves consensus when *nobody fails*
+//! (and never decides otherwise — exhibiting exactly the termination
+//! obstruction), and [`OwnValue`], the trivial `(f+1)`-set agreement
+//! protocol showing the bound `k ≤ f` is tight.
+
+use std::collections::BTreeMap;
+
+use ps_core::ProcessId;
+use ps_models::View;
+use ps_runtime::RoundProtocol;
+
+/// Decides the minimum input once inputs from *all* `n + 1` processes
+/// are known; never decides in executions where someone is silent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitForAll {
+    /// Total process count whose inputs must be collected.
+    pub n_plus_1: usize,
+}
+
+impl RoundProtocol for WaitForAll {
+    type Input = u64;
+    type State = View<u64>;
+    type Msg = View<u64>;
+    type Output = u64;
+
+    fn init(&self, me: ProcessId, _n_plus_1: usize, input: u64) -> View<u64> {
+        View::Input { process: me, input }
+    }
+
+    fn message(&self, state: &View<u64>) -> View<u64> {
+        state.clone()
+    }
+
+    fn on_round(
+        &self,
+        state: View<u64>,
+        received: &BTreeMap<ProcessId, View<u64>>,
+        _round: usize,
+    ) -> View<u64> {
+        let mut heard = received.clone();
+        heard.entry(state.process()).or_insert_with(|| state.clone());
+        View::Round {
+            process: state.process(),
+            heard,
+        }
+    }
+
+    fn decide(&self, state: &View<u64>, _rounds_done: usize) -> Option<u64> {
+        let known = state.known_inputs();
+        (known.len() == self.n_plus_1).then(|| *known.values().min().expect("nonempty"))
+    }
+}
+
+/// Decides its own input immediately: solves `(f+1)`-set agreement
+/// wait-free (with `n + 1` processes it never produces more than `n + 1`
+/// values, and with at most `f` crashes at least ... it is simply the
+/// trivial protocol showing `k = f + 1` is achievable, making
+/// Corollary 13's `k ≤ f` threshold tight for `f + 1 ≤ |V|`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OwnValue;
+
+impl RoundProtocol for OwnValue {
+    type Input = u64;
+    type State = u64;
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&self, _me: ProcessId, _n_plus_1: usize, input: u64) -> u64 {
+        input
+    }
+
+    fn message(&self, state: &u64) -> u64 {
+        *state
+    }
+
+    fn on_round(&self, state: u64, _received: &BTreeMap<ProcessId, u64>, _round: usize) -> u64 {
+        state
+    }
+
+    fn decide(&self, state: &u64, _rounds_done: usize) -> Option<u64> {
+        Some(*state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_core::process_set;
+    use ps_runtime::{AsyncExecutor, FullDelivery, RandomAsyncAdversary};
+
+    #[test]
+    fn wait_for_all_decides_failure_free() {
+        let exec = AsyncExecutor::new(WaitForAll { n_plus_1: 3 }, 3, 1);
+        let parts = process_set(3);
+        let trace = exec.run(&[4, 1, 9], &parts, &mut FullDelivery, 2);
+        for p in 0..3u32 {
+            assert_eq!(trace.decision(ProcessId(p)), Some(&1));
+        }
+    }
+
+    #[test]
+    fn wait_for_all_stuck_without_a_participant() {
+        // P2 never participates: nobody ever learns its input.
+        let exec = AsyncExecutor::new(WaitForAll { n_plus_1: 3 }, 3, 1);
+        let parts = [ProcessId(0), ProcessId(1)].into_iter().collect();
+        let trace = exec.run(&[4, 1, 9], &parts, &mut FullDelivery, 5);
+        assert!(trace.decisions().is_empty());
+        assert_eq!(trace.rounds_executed(), 5);
+    }
+
+    #[test]
+    fn own_value_is_immediate_multivalued() {
+        let exec = AsyncExecutor::new(OwnValue, 3, 1);
+        let parts = process_set(3);
+        for seed in 0..10 {
+            let mut adv = RandomAsyncAdversary::new(seed);
+            let trace = exec.run(&[4, 1, 9], &parts, &mut adv, 1);
+            assert_eq!(trace.decisions().len(), 3);
+            // decisions are the three distinct inputs: 3-set agreement
+            assert_eq!(trace.decision_values().len(), 3);
+        }
+    }
+}

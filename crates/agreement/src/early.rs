@@ -1,0 +1,181 @@
+//! Early-deciding FloodSet for consensus.
+//!
+//! The classical early-stopping optimization of the Theorem 18 protocol:
+//! a process *arms* when it observes a round with no newly visible crash
+//! (its heard-from set equals the previous round's, starting from the
+//! full process set), broadcasts its — now provably maximal — knowledge
+//! once more, and decides at the end of the **following** round. The
+//! extra relay round is what makes early deciding safe: a process that
+//! was privately reached by a crasher must pass those values on before
+//! halting. Worst case stays `f + 1` rounds (the FloodSet fallback);
+//! with `f'` actual crashes it decides within `f' + 2` rounds, and in
+//! failure-free runs within 2.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ps_core::ProcessId;
+use ps_runtime::RoundProtocol;
+
+/// State of [`EarlyFloodSet`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EarlyFloodSetState {
+    /// Values seen so far.
+    pub known: BTreeSet<u64>,
+    /// The heard-from set of the previous round (all processes before
+    /// round 1).
+    pub prev_heard: BTreeSet<ProcessId>,
+    /// Stability observed this round: decide after one more relay round.
+    pub armed: bool,
+    /// Armed in an earlier round and relayed since: decide now.
+    pub fire: bool,
+}
+
+/// Early-deciding consensus: FloodSet + heard-set stabilization + one
+/// relay round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EarlyFloodSet {
+    /// Fallback bound: decide unconditionally after this many rounds
+    /// (`f + 1` for the classical guarantee).
+    pub max_rounds: usize,
+}
+
+impl EarlyFloodSet {
+    /// Creates the protocol with the `f + 1` fallback.
+    pub fn for_failures(f: usize) -> Self {
+        EarlyFloodSet { max_rounds: f + 1 }
+    }
+}
+
+impl RoundProtocol for EarlyFloodSet {
+    type Input = u64;
+    type State = EarlyFloodSetState;
+    type Msg = BTreeSet<u64>;
+    type Output = u64;
+
+    fn init(&self, _me: ProcessId, n_plus_1: usize, input: u64) -> EarlyFloodSetState {
+        EarlyFloodSetState {
+            known: [input].into_iter().collect(),
+            prev_heard: (0..n_plus_1 as u32).map(ProcessId).collect(),
+            armed: false,
+            fire: false,
+        }
+    }
+
+    fn message(&self, state: &EarlyFloodSetState) -> BTreeSet<u64> {
+        state.known.clone()
+    }
+
+    fn on_round(
+        &self,
+        mut state: EarlyFloodSetState,
+        received: &BTreeMap<ProcessId, BTreeSet<u64>>,
+        _round: usize,
+    ) -> EarlyFloodSetState {
+        for vals in received.values() {
+            state.known.extend(vals.iter().copied());
+        }
+        let heard: BTreeSet<ProcessId> = received.keys().copied().collect();
+        state.fire = state.armed;
+        state.armed = heard == state.prev_heard;
+        state.prev_heard = heard;
+        state
+    }
+
+    fn decide(&self, state: &EarlyFloodSetState, rounds_done: usize) -> Option<u64> {
+        (state.fire || rounds_done >= self.max_rounds)
+            .then(|| *state.known.first().expect("own input known"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_runtime::{NoFailures, RandomAdversary, RoundFailures, ScriptedAdversary, SyncExecutor};
+
+    #[test]
+    fn failure_free_decides_in_two_rounds() {
+        let proto = EarlyFloodSet::for_failures(3);
+        let exec = SyncExecutor::new(proto, 5, 3);
+        let trace = exec.run(&[9, 4, 7, 1, 6], &mut NoFailures, 10);
+        for p in 0..5u32 {
+            assert_eq!(trace.decision_round(ProcessId(p)), Some(2));
+            assert_eq!(trace.decision(ProcessId(p)), Some(&1));
+        }
+    }
+
+    #[test]
+    fn agrees_under_random_adversaries() {
+        for seed in 0u64..80 {
+            let proto = EarlyFloodSet::for_failures(2);
+            let exec = SyncExecutor::new(proto, 4, 2);
+            let mut adv = RandomAdversary::new(seed, 2, 0.6);
+            let inputs = [3u64, 1, 4, 1];
+            let trace = exec.run(&inputs, &mut adv, 6);
+            assert!(trace.satisfies_termination(4), "seed {seed}");
+            assert!(
+                trace.satisfies_k_agreement(1),
+                "seed {seed}: {:?}",
+                trace.decisions()
+            );
+            assert!(trace.satisfies_validity(&inputs.iter().copied().collect()));
+            // within the f' + 2 / f + 1 envelope
+            for (r, _) in trace.decisions().values() {
+                assert!(*r <= 4, "seed {seed} took {r} rounds");
+            }
+        }
+    }
+
+    #[test]
+    fn private_crash_message_is_relayed_before_deciding() {
+        // the scenario that breaks naive early stopping: C crashes in
+        // round 2 reaching only P0, whose heard set stays stable — P0
+        // must relay C's value before halting.
+        let proto = EarlyFloodSet::for_failures(2);
+        let exec = SyncExecutor::new(proto, 3, 2);
+        let mut adv = ScriptedAdversary {
+            script: vec![
+                RoundFailures::none(),
+                RoundFailures {
+                    // C = P2 holds the minimum and reaches only P0
+                    crashes: [(ProcessId(2), [ProcessId(0)].into_iter().collect())]
+                        .into_iter()
+                        .collect(),
+                },
+            ],
+        };
+        let trace = exec.run(&[5, 9, 0], &mut adv, 6);
+        assert!(trace.satisfies_k_agreement(1), "{:?}", trace.decisions());
+        // everyone must decide 0 (P0 relayed it)
+        assert_eq!(trace.decision(ProcessId(0)), Some(&0));
+        assert_eq!(trace.decision(ProcessId(1)), Some(&0));
+    }
+
+    #[test]
+    fn one_crash_delays_by_at_most_one_round() {
+        let proto = EarlyFloodSet::for_failures(2);
+        let exec = SyncExecutor::new(proto, 3, 2);
+        let mut adv = ScriptedAdversary {
+            script: vec![RoundFailures {
+                crashes: [(ProcessId(0), [ProcessId(1)].into_iter().collect())]
+                    .into_iter()
+                    .collect(),
+            }],
+        };
+        let trace = exec.run(&[0, 5, 9], &mut adv, 6);
+        assert!(trace.satisfies_k_agreement(1), "{:?}", trace.decisions());
+        let max_round = trace.decisions().values().map(|(r, _)| *r).max().unwrap();
+        assert!(max_round <= 3, "took {max_round}");
+    }
+
+    #[test]
+    fn early_never_beats_safety() {
+        for seed in 0u64..80 {
+            let proto = EarlyFloodSet::for_failures(3);
+            let exec = SyncExecutor::new(proto, 5, 3);
+            let mut adv = RandomAdversary::new(seed * 7919, 3, 0.8);
+            let inputs = [0u64, 9, 9, 9, 9];
+            let trace = exec.run(&inputs, &mut adv, 8);
+            assert!(trace.satisfies_k_agreement(1), "seed {seed}: {:?}", trace.decisions());
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Experiment drivers: task protocol complexes and solver sweeps.
+//!
+//! The impossibility results of the paper (Theorem 9 / Corollaries 10,
+//! 13; Theorem 18; Corollary 22) quantify over *every* protocol. Their
+//! executable counterparts here quantify over every *decision map*: we
+//! build the protocol complex of the full-information protocol over the
+//! *entire* input complex (all value assignments, all participation
+//! levels the failure budget allows) and run the exhaustive
+//! [`DecisionMapSolver`]. "No decision map" on
+//! the restricted well-behaved execution subset is a machine-checked
+//! impossibility proof for the instance, because any protocol for the
+//! model must in particular decide on those executions.
+
+use std::collections::BTreeSet;
+
+use ps_core::ProcessId;
+use ps_models::{AsyncModel, InputSimplex, SemiSyncModel, SsView, SyncModel, View};
+use ps_topology::{Complex, Label, Simplex};
+
+use crate::solver::DecisionMapSolver;
+use crate::task::KSetAgreement;
+
+/// All input faces of the task's input complex `ψ(Pⁿ; V)` with at least
+/// `min_participants` participants: every subset of processes of
+/// sufficient size, with every assignment of values to it.
+pub fn input_faces(
+    n_plus_1: usize,
+    values: &BTreeSet<u64>,
+    min_participants: usize,
+) -> Vec<InputSimplex<u64>> {
+    let vals: Vec<u64> = values.iter().copied().collect();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << n_plus_1) {
+        let procs: Vec<ProcessId> = (0..n_plus_1 as u32)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(ProcessId)
+            .collect();
+        if procs.len() < min_participants.max(1) {
+            continue;
+        }
+        // all assignments values^|procs|
+        let mut idx = vec![0usize; procs.len()];
+        'assign: loop {
+            out.push(Simplex::new(
+                procs
+                    .iter()
+                    .zip(&idx)
+                    .map(|(p, &i)| (*p, vals[i]))
+                    .collect(),
+            ));
+            let mut i = 0;
+            loop {
+                if i == procs.len() {
+                    break 'assign;
+                }
+                idx[i] += 1;
+                if idx[i] < vals.len() {
+                    break;
+                }
+                idx[i] = 0;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The validity domain of a full-information view: the inputs it has
+/// (transitively) heard — exactly `∩ vals(S')` over the input simplexes
+/// `S'` whose executions produce this view.
+pub fn allowed_values(view: &View<u64>) -> BTreeSet<u64> {
+    view.known_inputs().values().copied().collect()
+}
+
+/// [`allowed_values`] for semi-synchronous views.
+pub fn allowed_values_ss(view: &SsView<u64>) -> BTreeSet<u64> {
+    view.known_inputs().values().copied().collect()
+}
+
+/// The r-round asynchronous task complex: `A^r` over the full input
+/// complex (participation down to `n + 1 - f`).
+pub fn async_task_complex(
+    task: &KSetAgreement,
+    n_plus_1: usize,
+    f: usize,
+    rounds: usize,
+) -> Complex<View<u64>> {
+    let model = AsyncModel::new(n_plus_1, f);
+    let mut out = Complex::new();
+    for input in input_faces(n_plus_1, &task.values, n_plus_1.saturating_sub(f)) {
+        out = out.union(&model.protocol_complex(&input, rounds));
+    }
+    out
+}
+
+/// The r-round synchronous task complex: `S^r` over the full input
+/// complex. Initial crashes (non-participants) consume failure budget;
+/// later rounds crash at most `k_per_round` each, within what remains.
+pub fn sync_task_complex(
+    task: &KSetAgreement,
+    n_plus_1: usize,
+    k_per_round: usize,
+    f_total: usize,
+    rounds: usize,
+) -> Complex<View<u64>> {
+    let mut out = Complex::new();
+    for input in input_faces(n_plus_1, &task.values, n_plus_1.saturating_sub(f_total)) {
+        let initial_crashes = n_plus_1 - input.len();
+        let model = SyncModel::new(n_plus_1, k_per_round, f_total - initial_crashes);
+        out = out.union(&model.protocol_complex(&input, rounds));
+    }
+    out
+}
+
+/// The r-round semi-synchronous task complex: `M^r` over the full input
+/// complex.
+pub fn semisync_task_complex(
+    task: &KSetAgreement,
+    n_plus_1: usize,
+    k_per_round: usize,
+    f_total: usize,
+    microrounds: u32,
+    rounds: usize,
+) -> Complex<SsView<u64>> {
+    let mut out = Complex::new();
+    for input in input_faces(n_plus_1, &task.values, n_plus_1.saturating_sub(f_total)) {
+        let initial_crashes = n_plus_1 - input.len();
+        let model = SemiSyncModel::new(
+            n_plus_1,
+            k_per_round,
+            f_total - initial_crashes,
+            microrounds,
+        );
+        out = out.union(&model.protocol_complex(&input, rounds));
+    }
+    out
+}
+
+/// Outcome of a solvability check on one instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolvabilityResult {
+    /// `true` iff a decision map exists.
+    pub solvable: bool,
+    /// Vertices of the protocol complex searched.
+    pub vertices: usize,
+    /// Facets of the protocol complex searched.
+    pub facets: usize,
+}
+
+/// Runs the solver on an arbitrary view complex for `task`.
+pub fn solvability<V: Label>(
+    complex: &Complex<V>,
+    task: &KSetAgreement,
+    allowed: impl FnMut(&V) -> BTreeSet<u64>,
+) -> SolvabilityResult {
+    let mut solver = DecisionMapSolver::new();
+    let map = solver.solve(complex, allowed, task.k);
+    SolvabilityResult {
+        solvable: map.is_some(),
+        vertices: complex.vertex_count(),
+        facets: complex.facet_count(),
+    }
+}
+
+/// Corollary 13 experiment: is r-round asynchronous k-set agreement
+/// solvable (as a decision map) for this instance?
+pub fn async_solvable(k: usize, f: usize, n_plus_1: usize, rounds: usize) -> SolvabilityResult {
+    let task = KSetAgreement::canonical(k);
+    let complex = async_task_complex(&task, n_plus_1, f, rounds);
+    solvability(&complex, &task, allowed_values)
+}
+
+/// Theorem 18 experiment: one row of the round sweep — is r-round
+/// synchronous k-set agreement solvable for this instance?
+pub fn sync_solvable(
+    k: usize,
+    f: usize,
+    n_plus_1: usize,
+    k_per_round: usize,
+    rounds: usize,
+) -> SolvabilityResult {
+    let task = KSetAgreement::canonical(k);
+    let complex = sync_task_complex(&task, n_plus_1, k_per_round, f, rounds);
+    solvability(&complex, &task, allowed_values)
+}
+
+/// Lemma 21 / Corollary 22 side experiment: is r-round semi-synchronous
+/// k-set agreement solvable for this instance?
+pub fn semisync_solvable(
+    k: usize,
+    f: usize,
+    n_plus_1: usize,
+    k_per_round: usize,
+    microrounds: u32,
+    rounds: usize,
+) -> SolvabilityResult {
+    let task = KSetAgreement::canonical(k);
+    let complex = semisync_task_complex(&task, n_plus_1, k_per_round, f, microrounds, rounds);
+    solvability(&complex, &task, allowed_values_ss)
+}
+
+/// Approximate-agreement experiment: is there a decision map on the
+/// r-round asynchronous complex whose values (a) are within the convex
+/// hull of known inputs (validity) and (b) span at most `range` on every
+/// simplex? The classical contrast with Corollary 13: *approximate*
+/// agreement IS asynchronously solvable, and the solver exhibits maps at
+/// coarse ranges while consensus (`range = 0`) stays impossible.
+pub fn async_approximate_solvable(
+    range: u64,
+    values: &BTreeSet<u64>,
+    f: usize,
+    n_plus_1: usize,
+    rounds: usize,
+) -> SolvabilityResult {
+    use crate::solver::{AgreementConstraint, DecisionMapSolver};
+    let model = AsyncModel::new(n_plus_1, f);
+    let mut complex = Complex::new();
+    for input in input_faces(n_plus_1, values, n_plus_1.saturating_sub(f)) {
+        complex = complex.union(&model.protocol_complex(&input, rounds));
+    }
+    // validity for approximate agreement: anywhere in the inclusive hull
+    // of the inputs the view has seen
+    let hull = |v: &View<u64>| -> BTreeSet<u64> {
+        let known: BTreeSet<u64> = v.known_inputs().values().copied().collect();
+        match (known.first(), known.last()) {
+            (Some(&lo), Some(&hi)) => (lo..=hi).collect(),
+            _ => BTreeSet::new(),
+        }
+    };
+    let mut solver = DecisionMapSolver::new();
+    let map = solver.solve_with(&complex, hull, AgreementConstraint::MaxRange(range));
+    SolvabilityResult {
+        solvable: map.is_some(),
+        vertices: complex.vertex_count(),
+        facets: complex.facet_count(),
+    }
+}
+
+/// Corollary 10's hypothesis and conclusion, evaluated on one
+/// asynchronous instance.
+#[derive(Clone, Debug)]
+pub struct Corollary10Report {
+    /// Per participation level `m` (from `n - f` to `n`): whether
+    /// `A^r(S^m)` was certified `(m - (n - k) - 1)`-connected.
+    pub connectivity_checks: Vec<(i32, bool)>,
+    /// Whether every participation level passed.
+    pub hypothesis_holds: bool,
+    /// Whether the exhaustive solver found NO decision map.
+    pub no_decision_map: bool,
+}
+
+impl Corollary10Report {
+    /// `true` when the instance is consistent with Corollary 10
+    /// (hypothesis fails, or hypothesis and conclusion both hold).
+    pub fn consistent(&self) -> bool {
+        !self.hypothesis_holds || self.no_decision_map
+    }
+}
+
+/// Evaluates Corollary 10 on the asynchronous model with `f = k`:
+/// checks the connectivity hypothesis `P(S^m)` is
+/// `(m - (n - k) - 1)`-connected for `n - f ≤ m ≤ n` (via homology +
+/// π₁ certificates on a fixed input face of each size), then runs the
+/// solver for the conclusion.
+pub fn corollary10_async(k: usize, n_plus_1: usize, rounds: usize) -> Corollary10Report {
+    use ps_topology::ConnectivityAnalyzer;
+
+    let f = k;
+    let n = n_plus_1 as i32 - 1;
+    let model = AsyncModel::new(n_plus_1, f);
+    let task = KSetAgreement::canonical(k);
+    let mut connectivity_checks = Vec::new();
+    for m in (n - f as i32)..=n {
+        // a fixed input face with m+1 participants and the canonical values
+        let vals: Vec<u64> = task.values.iter().copied().collect();
+        let input: InputSimplex<u64> = Simplex::new(
+            (0..=(m as usize))
+                .map(|i| (ProcessId(i as u32), vals[i % vals.len()]))
+                .collect(),
+        );
+        let complex = model.protocol_complex(&input, rounds);
+        let claimed = m - (n - k as i32) - 1;
+        let ok = ConnectivityAnalyzer::new(&complex)
+            .is_k_connected(claimed)
+            .is_yes();
+        connectivity_checks.push((m, ok));
+    }
+    let hypothesis_holds = connectivity_checks.iter().all(|(_, ok)| *ok);
+    let solver = async_solvable(k, f, n_plus_1, rounds);
+    Corollary10Report {
+        connectivity_checks,
+        hypothesis_holds,
+        no_decision_map: !solver.solvable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximate_agreement_contrast_with_consensus() {
+        let values: BTreeSet<u64> = (0..=2).collect();
+        // exact agreement (range 0) impossible with f = 1 ...
+        let exact = async_approximate_solvable(0, &values, 1, 3, 1);
+        assert!(!exact.solvable, "{exact:?}");
+        // ... but coarse approximate agreement is solvable in one round
+        let coarse = async_approximate_solvable(2, &values, 1, 3, 1);
+        assert!(coarse.solvable, "{coarse:?}");
+    }
+
+    #[test]
+    fn corollary10_consensus_instance() {
+        let report = corollary10_async(1, 3, 1);
+        assert!(report.hypothesis_holds, "{report:?}");
+        assert!(report.no_decision_map, "{report:?}");
+        assert!(report.consistent());
+        assert_eq!(report.connectivity_checks.len(), 2); // m = 1, 2
+    }
+
+    #[test]
+    fn corollary10_2set_instance() {
+        let report = corollary10_async(2, 3, 1);
+        assert!(report.hypothesis_holds, "{report:?}");
+        assert!(report.no_decision_map, "{report:?}");
+    }
+
+    #[test]
+    fn input_faces_counts() {
+        let vals: BTreeSet<u64> = [0, 1].into_iter().collect();
+        // 3 processes, min 2 participants: 3 pairs * 4 + 1 triple * 8 = 20
+        assert_eq!(input_faces(3, &vals, 2).len(), 20);
+        // min 3: just the 8 full assignments
+        assert_eq!(input_faces(3, &vals, 3).len(), 8);
+    }
+
+    #[test]
+    fn async_consensus_impossible_one_round() {
+        // k = 1 ≤ f = 1: Corollary 13 says unsolvable at any r; check r=1.
+        let r = async_solvable(1, 1, 3, 1);
+        assert!(!r.solvable, "{r:?}");
+        assert!(r.vertices > 0);
+    }
+
+    #[test]
+    fn async_2set_with_one_failure_solvable() {
+        // k = 2 > f = 1: solvable (the threshold k ≤ f is tight).
+        let r = async_solvable(2, 1, 3, 1);
+        assert!(r.solvable, "{r:?}");
+    }
+
+    #[test]
+    fn sync_consensus_needs_two_rounds_with_three_processes() {
+        // classic: with n+1 = 3 ≥ f + 2, consensus needs f+1 = 2 rounds.
+        let one = sync_solvable(1, 1, 3, 1, 1);
+        assert!(!one.solvable, "{one:?}");
+        let two = sync_solvable(1, 1, 3, 1, 2);
+        assert!(two.solvable, "{two:?}");
+    }
+
+    #[test]
+    fn sync_2set_one_failure_one_round_solvable() {
+        // k = 2, f = 1: ⌊f/k⌋ + 1 = 1 round suffices.
+        let r = sync_solvable(2, 1, 3, 1, 1);
+        assert!(r.solvable, "{r:?}");
+    }
+}

@@ -1,0 +1,162 @@
+//! FloodSet: synchronous k-set agreement in `⌊f/k⌋ + 1` rounds.
+//!
+//! The classical protocol matching the Theorem 18 lower bound
+//! [CHLT93]: every process floods the set of input values it has seen;
+//! after `R = ⌊f/k⌋ + 1` rounds it decides the minimum value it knows.
+//! With at most `f` crashes there must be a round among the `R` in which
+//! fewer than `k` processes crash, which bounds the spread of surviving
+//! value sets and yields at most `k` distinct decisions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ps_core::ProcessId;
+use ps_runtime::RoundProtocol;
+
+/// FloodSet state: the set of values seen so far.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FloodSetState {
+    /// The owning process.
+    pub me: ProcessId,
+    /// Values seen so far (own input included).
+    pub known: BTreeSet<u64>,
+}
+
+/// The FloodSet protocol, parameterized by its round count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FloodSet {
+    /// Rounds to run before deciding (use [`FloodSet::optimal`]).
+    pub rounds: usize,
+}
+
+impl FloodSet {
+    /// FloodSet with an explicit round count.
+    pub fn new(rounds: usize) -> Self {
+        assert!(rounds >= 1, "need at least one round");
+        FloodSet { rounds }
+    }
+
+    /// The Theorem 18-optimal round count `⌊f/k⌋ + 1`.
+    pub fn optimal(f: usize, k: usize) -> Self {
+        Self::new(f / k + 1)
+    }
+}
+
+impl RoundProtocol for FloodSet {
+    type Input = u64;
+    type State = FloodSetState;
+    type Msg = BTreeSet<u64>;
+    type Output = u64;
+
+    fn init(&self, me: ProcessId, _n_plus_1: usize, input: u64) -> FloodSetState {
+        FloodSetState {
+            me,
+            known: [input].into_iter().collect(),
+        }
+    }
+
+    fn message(&self, state: &FloodSetState) -> BTreeSet<u64> {
+        state.known.clone()
+    }
+
+    fn on_round(
+        &self,
+        mut state: FloodSetState,
+        received: &BTreeMap<ProcessId, BTreeSet<u64>>,
+        _round: usize,
+    ) -> FloodSetState {
+        for vals in received.values() {
+            state.known.extend(vals.iter().copied());
+        }
+        state
+    }
+
+    fn decide(&self, state: &FloodSetState, rounds_done: usize) -> Option<u64> {
+        (rounds_done >= self.rounds).then(|| *state.known.first().expect("known own input"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_runtime::{NoFailures, RandomAdversary, SyncExecutor};
+
+    #[test]
+    fn failure_free_consensus() {
+        let proto = FloodSet::optimal(1, 1); // 2 rounds
+        assert_eq!(proto.rounds, 2);
+        let exec = SyncExecutor::new(proto, 3, 1);
+        let trace = exec.run(&[5, 3, 9], &mut NoFailures, 5);
+        assert!(trace.satisfies_termination(3));
+        assert!(trace.satisfies_k_agreement(1));
+        assert_eq!(trace.decision(ProcessId(0)), Some(&3));
+        assert_eq!(trace.decision_round(ProcessId(0)), Some(2));
+    }
+
+    #[test]
+    fn randomized_sweep_consensus_holds() {
+        // n+1 = 4, f = 2, k = 1 => 3 rounds
+        let proto = FloodSet::optimal(2, 1);
+        let inputs_sets: [[u64; 4]; 3] = [[0, 1, 2, 3], [7, 7, 1, 7], [2, 2, 2, 2]];
+        for seed in 0..60 {
+            for inputs in &inputs_sets {
+                let exec = SyncExecutor::new(proto, 4, 2);
+                let mut adv = RandomAdversary::new(seed, 2, 0.7);
+                let trace = exec.run(inputs, &mut adv, 5);
+                assert!(trace.satisfies_termination(4), "seed {seed}");
+                assert!(
+                    trace.satisfies_k_agreement(1),
+                    "seed {seed}: {:?}",
+                    trace.decisions()
+                );
+                assert!(trace
+                    .satisfies_validity(&inputs.iter().copied().collect()));
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_sweep_2set_agreement() {
+        // n+1 = 4, f = 2, k = 2 => 2 rounds
+        let proto = FloodSet::optimal(2, 2);
+        assert_eq!(proto.rounds, 2);
+        for seed in 0..60 {
+            let exec = SyncExecutor::new(proto, 4, 2);
+            let mut adv = RandomAdversary::new(seed, 2, 0.7);
+            let inputs = [0u64, 1, 2, 3];
+            let trace = exec.run(&inputs, &mut adv, 5);
+            assert!(trace.satisfies_termination(4), "seed {seed}");
+            assert!(
+                trace.satisfies_k_agreement(2),
+                "seed {seed}: {:?}",
+                trace.decisions()
+            );
+        }
+    }
+
+    #[test]
+    fn one_round_insufficient_for_consensus_with_failure() {
+        // an explicit bad execution: with 1 round and 1 crash mid-send,
+        // survivors can decide differently (the Theorem 18 obstruction)
+        use ps_runtime::{RoundFailures, ScriptedAdversary};
+        let proto = FloodSet::new(1);
+        let exec = SyncExecutor::new(proto, 3, 1);
+        // P0 has the minimum; it crashes reaching only P1.
+        let mut adv = ScriptedAdversary {
+            script: vec![RoundFailures {
+                crashes: [(ProcessId(0), [ProcessId(1)].into_iter().collect())]
+                    .into_iter()
+                    .collect(),
+            }],
+        };
+        let trace = exec.run(&[0, 5, 9], &mut adv, 1);
+        assert_eq!(trace.decision(ProcessId(1)), Some(&0));
+        assert_eq!(trace.decision(ProcessId(2)), Some(&5));
+        assert!(!trace.satisfies_k_agreement(1)); // violation exhibited
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let _ = FloodSet::new(0);
+    }
+}

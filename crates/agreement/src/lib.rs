@@ -1,0 +1,48 @@
+//! # ps-agreement: tasks, protocols, and the impossibility solver
+//!
+//! The task layer of the reproduction: k-set agreement and consensus
+//! (§4), protocols matching the paper's upper bounds, and the exhaustive
+//! decision-map solver that turns the paper's impossibility theorems
+//! (Theorem 9, Corollaries 10/13, Theorem 18, Corollary 22) into
+//! machine-checked statements about concrete instances.
+//!
+//! * [`KSetAgreement`] — the task;
+//! * [`DecisionMapSolver`] — complete backtracking search for decision
+//!   maps on protocol complexes (no map found ⇒ instance-level
+//!   impossibility proof);
+//! * [`FloodSet`] — synchronous k-set agreement in `⌊f/k⌋ + 1` rounds
+//!   (Theorem 18's matching upper bound);
+//! * [`TimedFloodSet`] + [`stretch_experiment`] — the Corollary 22
+//!   semi-synchronous timing experiment;
+//! * [`WaitForAll`] / [`OwnValue`] — the asynchronous positive side;
+//! * [`experiments`] — task-complex builders and solver sweeps used by
+//!   the benchmark harness and EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod task;
+pub use task::KSetAgreement;
+
+mod solver;
+pub use solver::{AgreementConstraint, DecisionMapSolver, SolverConfig, SolverStats};
+
+mod floodset;
+pub use floodset::{FloodSet, FloodSetState};
+
+mod early;
+pub use early::{EarlyFloodSet, EarlyFloodSetState};
+
+mod timed;
+pub use timed::{stretch_experiment, StretchOutcome, TimedFloodSet, TimedFloodSetState};
+
+mod asynchronous;
+pub use asynchronous::{OwnValue, WaitForAll};
+
+pub mod experiments;
+pub use experiments::{
+    allowed_values, allowed_values_ss, async_approximate_solvable, async_solvable,
+    async_task_complex, corollary10_async, input_faces, semisync_solvable,
+    semisync_task_complex, solvability, sync_solvable, sync_task_complex, Corollary10Report,
+    SolvabilityResult,
+};

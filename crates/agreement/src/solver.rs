@@ -1,0 +1,620 @@
+//! Exhaustive decision-map search — the computational impossibility
+//! checker.
+//!
+//! §4 of the paper: a protocol solves k-set agreement iff its protocol
+//! complex admits a *decision map* `δ` carrying each vertex to a value
+//! such that (validity) `δ(v) ∈ vals(S')` whenever `v ∈ P(S')`, and
+//! (agreement) the vertices of any simplex map to at most `k` distinct
+//! values. Because full-information protocols are without loss of
+//! generality, *no decision map on the (restricted, well-behaved)
+//! protocol complex* implies *no protocol at all* for the model whose
+//! executions include that restricted subset.
+//!
+//! [`DecisionMapSolver`] does complete backtracking search with
+//! most-constrained-vertex ordering and forward-checking propagation:
+//! once a facet has accumulated `k` distinct values, the domains of its
+//! unassigned vertices are pruned to those values. `Some(map)` is a
+//! solvability witness, `None` is an instance-level impossibility
+//! **proof** (the search is exhaustive).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ps_topology::{Complex, Label};
+
+/// Search statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Vertex assignments attempted.
+    pub assignments: usize,
+    /// Backtracks taken.
+    pub backtracks: usize,
+    /// Domain prunings performed by forward checking.
+    pub prunings: usize,
+}
+
+/// The per-simplex agreement condition the decision map must satisfy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AgreementConstraint {
+    /// At most `k` distinct values per simplex — k-set agreement (§4).
+    AtMostKDistinct(usize),
+    /// All values distinct per simplex — renaming-style uniqueness.
+    /// (Without a symmetry requirement this is trivially satisfiable
+    /// whenever the namespace covers each facet's size; provided as the
+    /// dual constraint and a solver control.)
+    AllDistinct,
+    /// Values within any simplex span at most this range
+    /// (`max - min ≤ D`) — the discrete form of ε-approximate
+    /// agreement. `MaxRange(0)` coincides with consensus.
+    MaxRange(u64),
+}
+
+/// Solver configuration — `forward_checking: false` is the ablation used
+/// by `bench_solver` to quantify what propagation buys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Prune domains through saturated facets (on by default).
+    pub forward_checking: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            forward_checking: true,
+        }
+    }
+}
+
+/// A complete backtracking solver for decision maps.
+#[derive(Debug, Default)]
+pub struct DecisionMapSolver {
+    stats: SolverStats,
+    config: SolverConfig,
+}
+
+struct SearchState {
+    /// Current domain of each vertex (singleton = assigned or forced).
+    domains: Vec<BTreeSet<u64>>,
+    /// Whether the vertex has been branched on / forced.
+    assigned: Vec<Option<u64>>,
+    /// Facets as vertex-index lists.
+    facets: Vec<Vec<usize>>,
+    /// Facets containing each vertex.
+    facets_of: Vec<Vec<usize>>,
+    constraint: AgreementConstraint,
+    forward_checking: bool,
+}
+
+/// Undo log entry: vertex index, removed values.
+type Trail = Vec<(usize, BTreeSet<u64>)>;
+
+impl SearchState {
+    /// Assigns `val` to `vi` and forward-checks; returns the undo trail
+    /// or `None` on wipe-out.
+    fn assign(&mut self, vi: usize, val: u64, stats: &mut SolverStats) -> Option<Trail> {
+        let mut trail: Trail = Vec::new();
+        let removed: BTreeSet<u64> =
+            self.domains[vi].iter().copied().filter(|&x| x != val).collect();
+        if !removed.is_empty() {
+            self.domains[vi] = [val].into_iter().collect();
+            trail.push((vi, removed));
+        }
+        self.assigned[vi] = Some(val);
+
+        // queue of vertices whose assignment may trigger facet pruning
+        let mut queue = vec![vi];
+        while let Some(v) = queue.pop() {
+            for &fi in &self.facets_of[v].clone() {
+                let mut distinct: BTreeSet<u64> = BTreeSet::new();
+                let mut duplicate = false;
+                let mut assigned_count = 0usize;
+                for &w in &self.facets[fi] {
+                    if let Some(x) = self.assigned[w] {
+                        assigned_count += 1;
+                        if !distinct.insert(x) {
+                            duplicate = true;
+                        }
+                    }
+                }
+                let violated = match self.constraint {
+                    AgreementConstraint::AtMostKDistinct(k) => distinct.len() > k,
+                    AgreementConstraint::AllDistinct => duplicate,
+                    AgreementConstraint::MaxRange(range) => match
+                        (distinct.first(), distinct.last())
+                    {
+                        (Some(&lo), Some(&hi)) => hi - lo > range,
+                        _ => false,
+                    },
+                };
+                if violated {
+                    self.undo(&trail);
+                    self.assigned[vi] = None;
+                    return None;
+                }
+                if !self.forward_checking {
+                    continue;
+                }
+                // domain pruning per constraint: keep_only=true means
+                // domains are restricted TO the set; false, AWAY from it
+                let prune: Option<(bool, BTreeSet<u64>)> = match self.constraint {
+                    // saturated facet: unassigned members limited to the
+                    // facet's value set
+                    AgreementConstraint::AtMostKDistinct(k) if distinct.len() == k => {
+                        Some((true, distinct.clone()))
+                    }
+                    // all-distinct: unassigned members may NOT reuse the
+                    // facet's assigned values
+                    AgreementConstraint::AllDistinct if assigned_count > 0 => {
+                        Some((false, distinct.clone()))
+                    }
+                    // range: unassigned members limited to the window
+                    // [hi - range, lo + range]
+                    AgreementConstraint::MaxRange(range) if assigned_count > 0 => {
+                        let lo = *distinct.first().unwrap();
+                        let hi = *distinct.last().unwrap();
+                        let window: BTreeSet<u64> =
+                            (hi.saturating_sub(range)..=lo.saturating_add(range)).collect();
+                        Some((true, window))
+                    }
+                    _ => None,
+                };
+                let Some((keep_only, value_set)) = prune else {
+                    continue;
+                };
+                for &w in &self.facets[fi].clone() {
+                    if self.assigned[w].is_some() {
+                        continue;
+                    }
+                    let removed: BTreeSet<u64> = self.domains[w]
+                        .iter()
+                        .copied()
+                        .filter(|x| value_set.contains(x) != keep_only)
+                        .collect();
+                    if removed.is_empty() {
+                        continue;
+                    }
+                    stats.prunings += 1;
+                    for x in &removed {
+                        self.domains[w].remove(x);
+                    }
+                    trail.push((w, removed));
+                    match self.domains[w].len() {
+                        0 => {
+                            self.undo(&trail);
+                            self.assigned[vi] = None;
+                            return None;
+                        }
+                        1 => {
+                            // forced: treat as assigned and propagate
+                            let forced = *self.domains[w].first().unwrap();
+                            self.assigned[w] = Some(forced);
+                            trail.push((w, BTreeSet::new())); // marker for unassign
+                            queue.push(w);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Some(trail)
+    }
+
+    fn undo(&mut self, trail: &Trail) {
+        for (w, removed) in trail.iter().rev() {
+            if removed.is_empty() {
+                self.assigned[*w] = None;
+            } else {
+                self.domains[*w].extend(removed.iter().copied());
+            }
+        }
+    }
+}
+
+impl DecisionMapSolver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Self {
+        DecisionMapSolver::default()
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        DecisionMapSolver {
+            stats: SolverStats::default(),
+            config,
+        }
+    }
+
+    /// Statistics from the last `solve` call.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Searches for a decision map on `complex` where each vertex `v` may
+    /// take any value in `allowed(v)` (the validity constraint) and every
+    /// simplex carries at most `k` distinct values (the agreement
+    /// constraint; checking facets suffices).
+    ///
+    /// Returns a witness map, or `None` when **no** decision map exists.
+    pub fn solve<V: Label>(
+        &mut self,
+        complex: &Complex<V>,
+        allowed: impl FnMut(&V) -> BTreeSet<u64>,
+        k: usize,
+    ) -> Option<BTreeMap<V, u64>> {
+        self.solve_with(complex, allowed, AgreementConstraint::AtMostKDistinct(k))
+    }
+
+    /// [`DecisionMapSolver::solve`] generalized to any
+    /// [`AgreementConstraint`].
+    pub fn solve_with<V: Label>(
+        &mut self,
+        complex: &Complex<V>,
+        allowed: impl FnMut(&V) -> BTreeSet<u64>,
+        constraint: AgreementConstraint,
+    ) -> Option<BTreeMap<V, u64>> {
+        self.stats = SolverStats::default();
+        let vertices: Vec<V> = complex.vertex_set().into_iter().collect();
+        if vertices.is_empty() {
+            return Some(BTreeMap::new());
+        }
+        let facets: Vec<Vec<usize>> = complex
+            .facets()
+            .map(|f| {
+                f.vertices()
+                    .iter()
+                    .map(|v| vertices.binary_search(v).unwrap())
+                    .collect()
+            })
+            .collect();
+        let mut facets_of: Vec<Vec<usize>> = vec![Vec::new(); vertices.len()];
+        for (fi, f) in facets.iter().enumerate() {
+            for &vi in f {
+                facets_of[vi].push(fi);
+            }
+        }
+        let domains: Vec<BTreeSet<u64>> = vertices.iter().map(allowed).collect();
+        if domains.iter().any(|d| d.is_empty()) {
+            return None;
+        }
+        let mut state = SearchState {
+            domains,
+            assigned: vec![None; vertices.len()],
+            facets,
+            facets_of,
+            constraint,
+            forward_checking: self.config.forward_checking,
+        };
+        if self.backtrack(&mut state) {
+            Some(
+                vertices
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (v, state.assigned[i].expect("complete assignment")))
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    }
+
+    fn backtrack(&mut self, state: &mut SearchState) -> bool {
+        // most-constrained unassigned vertex
+        let next = (0..state.domains.len())
+            .filter(|&i| state.assigned[i].is_none())
+            .min_by_key(|&i| (state.domains[i].len(), usize::MAX - state.facets_of[i].len()));
+        let Some(vi) = next else {
+            return true; // all assigned
+        };
+        let candidates: Vec<u64> = state.domains[vi].iter().copied().collect();
+        for val in candidates {
+            self.stats.assignments += 1;
+            if let Some(trail) = state.assign(vi, val, &mut self.stats) {
+                if self.backtrack(state) {
+                    return true;
+                }
+                state.undo(&trail);
+                state.assigned[vi] = None;
+            }
+            self.stats.backtracks += 1;
+        }
+        false
+    }
+
+    /// Verifies that `map` is a valid k-set agreement decision map.
+    pub fn verify<V: Label>(
+        complex: &Complex<V>,
+        map: &BTreeMap<V, u64>,
+        allowed: impl FnMut(&V) -> BTreeSet<u64>,
+        k: usize,
+    ) -> bool {
+        Self::verify_with(complex, map, allowed, AgreementConstraint::AtMostKDistinct(k))
+    }
+
+    /// Verifies `map` against an arbitrary [`AgreementConstraint`].
+    pub fn verify_with<V: Label>(
+        complex: &Complex<V>,
+        map: &BTreeMap<V, u64>,
+        mut allowed: impl FnMut(&V) -> BTreeSet<u64>,
+        constraint: AgreementConstraint,
+    ) -> bool {
+        for v in complex.vertex_set() {
+            match map.get(&v) {
+                Some(x) if allowed(&v).contains(x) => {}
+                _ => return false,
+            }
+        }
+        complex.facets().all(|f| {
+            let values: Vec<u64> =
+                f.vertices().iter().filter_map(|v| map.get(v)).copied().collect();
+            let distinct: BTreeSet<u64> = values.iter().copied().collect();
+            match constraint {
+                AgreementConstraint::AtMostKDistinct(k) => distinct.len() <= k,
+                AgreementConstraint::AllDistinct => distinct.len() == values.len(),
+                AgreementConstraint::MaxRange(range) => {
+                    match (distinct.first(), distinct.last()) {
+                        (Some(&lo), Some(&hi)) => hi - lo <= range,
+                        _ => true,
+                    }
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_topology::Simplex;
+
+    fn s(vs: &[u32]) -> Simplex<u32> {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn empty_complex_trivially_solvable() {
+        let mut solver = DecisionMapSolver::new();
+        let c = Complex::<u32>::new();
+        let m = solver.solve(&c, |_| [0].into_iter().collect(), 1);
+        assert_eq!(m, Some(BTreeMap::new()));
+    }
+
+    #[test]
+    fn single_simplex_consensus() {
+        let mut solver = DecisionMapSolver::new();
+        let c = Complex::simplex(s(&[0, 1, 2]));
+        let m = solver
+            .solve(&c, |_| [0u64, 1].into_iter().collect(), 1)
+            .expect("solvable");
+        let distinct: BTreeSet<u64> = m.values().copied().collect();
+        assert_eq!(distinct.len(), 1);
+        assert!(DecisionMapSolver::verify(
+            &c,
+            &m,
+            |_| [0u64, 1].into_iter().collect(),
+            1
+        ));
+    }
+
+    #[test]
+    fn forced_disagreement_unsolvable() {
+        let mut solver = DecisionMapSolver::new();
+        let c = Complex::simplex(s(&[0, 1]));
+        let m = solver.solve(
+            &c,
+            |v| {
+                if *v == 0 {
+                    [0u64].into_iter().collect()
+                } else {
+                    [1u64].into_iter().collect()
+                }
+            },
+            1,
+        );
+        assert_eq!(m, None);
+        assert!(solver.stats().assignments > 0);
+    }
+
+    #[test]
+    fn k2_allows_two_values() {
+        let mut solver = DecisionMapSolver::new();
+        let c = Complex::simplex(s(&[0, 1]));
+        let m = solver.solve(&c, |v| [u64::from(*v == 1)].into_iter().collect(), 2);
+        assert!(m.is_some());
+    }
+
+    #[test]
+    fn path_with_pinned_endpoints() {
+        // consensus on a path 0-1-2 with endpoints pinned to different
+        // values: every edge forces equality, so k=1 is impossible.
+        let mut solver = DecisionMapSolver::new();
+        let c = Complex::from_facets([s(&[0, 1]), s(&[1, 2])]);
+        let dom = |v: &u32| -> BTreeSet<u64> {
+            match v {
+                0 => [0u64].into_iter().collect(),
+                2 => [1u64].into_iter().collect(),
+                _ => [0u64, 1].into_iter().collect(),
+            }
+        };
+        assert_eq!(solver.solve(&c, dom, 1), None);
+        assert!(solver.stats().prunings > 0);
+        assert!(solver.solve(&c, dom, 2).is_some());
+    }
+
+    #[test]
+    fn long_path_fails_fast_with_propagation() {
+        // a 60-vertex path with pinned endpoints: propagation should
+        // wipe out quickly rather than exploring 2^58 assignments.
+        let facets: Vec<Simplex<u32>> = (0..59u32).map(|i| s(&[i, i + 1])).collect();
+        let c = Complex::from_facets(facets);
+        let dom = |v: &u32| -> BTreeSet<u64> {
+            match v {
+                0 => [0u64].into_iter().collect(),
+                59 => [1u64].into_iter().collect(),
+                _ => [0u64, 1].into_iter().collect(),
+            }
+        };
+        let mut solver = DecisionMapSolver::new();
+        assert_eq!(solver.solve(&c, dom, 1), None);
+        assert!(
+            solver.stats().assignments < 200,
+            "propagation too weak: {:?}",
+            solver.stats()
+        );
+    }
+
+    #[test]
+    fn empty_domain_unsolvable() {
+        let mut solver = DecisionMapSolver::new();
+        let c = Complex::simplex(s(&[0]));
+        assert_eq!(solver.solve(&c, |_| BTreeSet::new(), 1), None);
+    }
+
+    #[test]
+    fn solution_verified_on_triangulated_instance() {
+        // mixed-dimension complex, k = 2, three values
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[2, 3, 4]), s(&[4, 5])]);
+        let allowed = |v: &u32| -> BTreeSet<u64> { [0u64, 1, u64::from(*v) % 3].into_iter().collect() };
+        let mut solver = DecisionMapSolver::new();
+        let m = solver.solve(&c, allowed, 2).expect("solvable");
+        assert!(DecisionMapSolver::verify(&c, &m, allowed, 2));
+    }
+
+    #[test]
+    fn all_distinct_constraint() {
+        // a triangle with namespace {0,1,2}: all-distinct solvable;
+        // namespace {0,1}: pigeonhole makes it impossible.
+        let c = Complex::simplex(s(&[0, 1, 2]));
+        let wide = |_: &u32| -> BTreeSet<u64> { (0..3).collect() };
+        let narrow = |_: &u32| -> BTreeSet<u64> { (0..2).collect() };
+        let mut solver = DecisionMapSolver::new();
+        let m = solver
+            .solve_with(&c, wide, AgreementConstraint::AllDistinct)
+            .expect("3 names suffice");
+        assert!(DecisionMapSolver::verify_with(
+            &c,
+            &m,
+            wide,
+            AgreementConstraint::AllDistinct
+        ));
+        assert_eq!(
+            solver.solve_with(&c, narrow, AgreementConstraint::AllDistinct),
+            None
+        );
+    }
+
+    #[test]
+    fn all_distinct_across_shared_faces() {
+        // two triangles sharing an edge: 3 names still suffice (proper
+        // coloring style), and the shared edge keeps maps consistent.
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[1, 2, 3])]);
+        let dom = |_: &u32| -> BTreeSet<u64> { (0..3).collect() };
+        let mut solver = DecisionMapSolver::new();
+        let m = solver
+            .solve_with(&c, dom, AgreementConstraint::AllDistinct)
+            .expect("colorable");
+        assert!(DecisionMapSolver::verify_with(&c, &m, dom, AgreementConstraint::AllDistinct));
+        assert_eq!(m[&0], m[&3].min(m[&0]).max(m[&0])); // m[0] may equal m[3]
+    }
+
+    #[test]
+    fn max_range_constraint() {
+        // a path with endpoints pinned 3 apart: range 3 solvable,
+        // range 1 requires intermediate values and a short path fails
+        let c = Complex::from_facets([s(&[0, 1]), s(&[1, 2])]);
+        let dom = |v: &u32| -> BTreeSet<u64> {
+            match v {
+                0 => [0u64].into_iter().collect(),
+                2 => [3u64].into_iter().collect(),
+                _ => (0..=3u64).collect(),
+            }
+        };
+        let mut solver = DecisionMapSolver::new();
+        assert!(solver
+            .solve_with(&c, dom, AgreementConstraint::MaxRange(3))
+            .is_some());
+        // with range 1 the middle vertex would need to be within 1 of
+        // both 0 and 3: impossible
+        assert_eq!(
+            solver.solve_with(&c, dom, AgreementConstraint::MaxRange(1)),
+            None
+        );
+        // a longer path gives room to interpolate
+        let long = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[2, 3]), s(&[3, 4])]);
+        let dom_long = |v: &u32| -> BTreeSet<u64> {
+            match v {
+                0 => [0u64].into_iter().collect(),
+                4 => [3u64].into_iter().collect(),
+                _ => (0..=3u64).collect(),
+            }
+        };
+        let m = solver
+            .solve_with(&long, dom_long, AgreementConstraint::MaxRange(1))
+            .expect("interpolation possible");
+        assert!(DecisionMapSolver::verify_with(
+            &long,
+            &m,
+            dom_long,
+            AgreementConstraint::MaxRange(1)
+        ));
+    }
+
+    #[test]
+    fn max_range_zero_is_consensus() {
+        let c = Complex::from_facets([s(&[0, 1]), s(&[1, 2])]);
+        let dom = |v: &u32| -> BTreeSet<u64> {
+            match v {
+                0 => [0u64].into_iter().collect(),
+                2 => [1u64].into_iter().collect(),
+                _ => [0u64, 1].into_iter().collect(),
+            }
+        };
+        let mut solver = DecisionMapSolver::new();
+        let range0 = solver.solve_with(&c, dom, AgreementConstraint::MaxRange(0));
+        let k1 = solver.solve(&c, dom, 1);
+        assert_eq!(range0.is_some(), k1.is_some());
+    }
+
+    #[test]
+    fn ablation_no_forward_checking_still_complete() {
+        // the ablation config must return identical verdicts, only slower
+        let facets: Vec<Simplex<u32>> = (0..12u32).map(|i| s(&[i, i + 1])).collect();
+        let c = Complex::from_facets(facets);
+        let dom = |v: &u32| -> BTreeSet<u64> {
+            match v {
+                0 => [0u64].into_iter().collect(),
+                12 => [1u64].into_iter().collect(),
+                _ => [0u64, 1].into_iter().collect(),
+            }
+        };
+        let mut fast = DecisionMapSolver::new();
+        let mut slow = DecisionMapSolver::with_config(SolverConfig {
+            forward_checking: false,
+        });
+        assert_eq!(fast.solve(&c, dom, 1), None);
+        assert_eq!(slow.solve(&c, dom, 1), None);
+        assert_eq!(slow.stats().prunings, 0);
+        assert!(
+            slow.stats().assignments > fast.stats().assignments,
+            "propagation should reduce work: fast={:?} slow={:?}",
+            fast.stats(),
+            slow.stats()
+        );
+        // solvable case agrees too
+        assert_eq!(
+            fast.solve(&c, dom, 2).is_some(),
+            slow.solve(&c, dom, 2).is_some()
+        );
+    }
+
+    #[test]
+    fn verify_rejects_bad_maps() {
+        let c = Complex::simplex(s(&[0, 1]));
+        let allowed = |_: &u32| -> BTreeSet<u64> { [0u64, 1].into_iter().collect() };
+        let bad: BTreeMap<u32, u64> = [(0u32, 0u64), (1u32, 1u64)].into_iter().collect();
+        assert!(!DecisionMapSolver::verify(&c, &bad, allowed, 1));
+        assert!(DecisionMapSolver::verify(&c, &bad, allowed, 2));
+        let incomplete: BTreeMap<u32, u64> = [(0u32, 0u64)].into_iter().collect();
+        assert!(!DecisionMapSolver::verify(&c, &incomplete, allowed, 2));
+        let invalid: BTreeMap<u32, u64> = [(0u32, 9u64), (1u32, 9)].into_iter().collect();
+        assert!(!DecisionMapSolver::verify(&c, &invalid, allowed, 1));
+    }
+}

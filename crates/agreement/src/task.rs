@@ -1,0 +1,90 @@
+//! Decision tasks (§4).
+//!
+//! In the *k-set agreement* task [Cha91] processes must (1) decide after
+//! finitely many steps, (2) decide some process's input value, and
+//! (3) collectively decide at most `k` distinct values. `k = 1` is
+//! consensus.
+
+use std::collections::BTreeSet;
+
+/// The k-set agreement task over a value domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KSetAgreement {
+    /// Maximum number of distinct decision values.
+    pub k: usize,
+    /// The input value domain `V`.
+    pub values: BTreeSet<u64>,
+}
+
+impl KSetAgreement {
+    /// Creates the task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the domain has fewer than `k + 1` values
+    /// (with `|V| ≤ k` the task is trivially solvable by deciding one's
+    /// own input, which makes lower-bound instances degenerate).
+    pub fn new(k: usize, values: BTreeSet<u64>) -> Self {
+        assert!(k >= 1, "k must be positive");
+        assert!(
+            values.len() > k,
+            "need more than k values for a non-trivial instance"
+        );
+        KSetAgreement { k, values }
+    }
+
+    /// Consensus over the given domain.
+    pub fn consensus(values: BTreeSet<u64>) -> Self {
+        Self::new(1, values)
+    }
+
+    /// The canonical instance with values `{0, ..., k}` — the paper's
+    /// Theorem 9 setting (`k + 1` input values).
+    pub fn canonical(k: usize) -> Self {
+        Self::new(k, (0..=k as u64).collect())
+    }
+
+    /// Checks the agreement condition on a set of decisions.
+    pub fn agreement_holds(&self, decisions: &BTreeSet<u64>) -> bool {
+        decisions.len() <= self.k
+    }
+
+    /// Checks the validity condition: decisions are inputs.
+    pub fn validity_holds(&self, decisions: &BTreeSet<u64>, inputs: &BTreeSet<u64>) -> bool {
+        decisions.is_subset(inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_instance() {
+        let t = KSetAgreement::canonical(2);
+        assert_eq!(t.k, 2);
+        assert_eq!(t.values, (0..=2).collect());
+    }
+
+    #[test]
+    fn consensus_is_k1() {
+        let t = KSetAgreement::consensus([0u64, 1].into_iter().collect());
+        assert_eq!(t.k, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than k values")]
+    fn degenerate_rejected() {
+        let _ = KSetAgreement::new(2, [0u64, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn conditions() {
+        let t = KSetAgreement::canonical(2);
+        assert!(t.agreement_holds(&[0u64, 1].into_iter().collect()));
+        assert!(!t.agreement_holds(&[0u64, 1, 2].into_iter().collect()));
+        let inputs: BTreeSet<u64> = [0u64, 1].into_iter().collect();
+        assert!(t.validity_holds(&[0u64].into_iter().collect(), &inputs));
+        assert!(!t.validity_holds(&[2u64].into_iter().collect(), &inputs));
+    }
+}

@@ -1,0 +1,196 @@
+//! Timed (semi-synchronous) k-set agreement and the Corollary 22
+//! stretch experiment.
+//!
+//! [`TimedFloodSet`] is a step-counted FloodSet: rounds of
+//! `p = ⌈d/c1⌉` steps (so a round spans at least `d` real time), values
+//! flooded each round, decision after `R = ⌊f/k⌋ + 1` rounds. Its
+//! worst-case decision time under the paper's *stretch adversary* (crash
+//! all but one process, run the survivor at `c2`) is measured by
+//! [`stretch_experiment`] and compared against the Corollary 22 lower
+//! bound `⌊f/k⌋·d + C·d`.
+
+use std::collections::BTreeSet;
+
+use ps_core::ProcessId;
+use ps_runtime::{
+    Lockstep, StretchAdversary, TimedExecutor, TimedParams, TimedProtocol, TimedTrace,
+};
+
+/// State of [`TimedFloodSet`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimedFloodSetState {
+    known: BTreeSet<u64>,
+    steps_per_round: u64,
+}
+
+/// Step-counted FloodSet for the semi-synchronous model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedFloodSet {
+    /// Rounds before deciding (`⌊f/k⌋ + 1` for the optimal instance).
+    pub rounds: u64,
+}
+
+impl TimedFloodSet {
+    /// With explicit rounds.
+    pub fn new(rounds: u64) -> Self {
+        assert!(rounds >= 1, "need at least one round");
+        TimedFloodSet { rounds }
+    }
+
+    /// The `⌊f/k⌋ + 1`-round instance.
+    pub fn optimal(f: usize, k: usize) -> Self {
+        Self::new((f / k + 1) as u64)
+    }
+}
+
+impl TimedProtocol for TimedFloodSet {
+    type Input = u64;
+    type State = TimedFloodSetState;
+    type Msg = BTreeSet<u64>;
+    type Output = u64;
+
+    fn init(
+        &self,
+        _me: ProcessId,
+        _n_plus_1: usize,
+        input: u64,
+        params: &TimedParams,
+    ) -> TimedFloodSetState {
+        TimedFloodSetState {
+            known: [input].into_iter().collect(),
+            steps_per_round: params.microrounds(),
+        }
+    }
+
+    fn on_step(
+        &self,
+        mut state: TimedFloodSetState,
+        _now: u64,
+        step: u64,
+        inbox: &[(ProcessId, BTreeSet<u64>)],
+    ) -> (TimedFloodSetState, Option<BTreeSet<u64>>, Option<u64>) {
+        for (_, vals) in inbox {
+            state.known.extend(vals.iter().copied());
+        }
+        let p = state.steps_per_round;
+        // broadcast at the first step of each round
+        let broadcast = step.is_multiple_of(p).then(|| state.known.clone());
+        // decide once R rounds of p steps have completed (count this step)
+        let decide = (step + 1 >= self.rounds * p)
+            .then(|| *state.known.first().expect("own input known"));
+        (state, broadcast, decide)
+    }
+}
+
+/// Result of one stretch-adversary run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StretchOutcome {
+    /// The survivor's decision time (ticks).
+    pub decision_time: u64,
+    /// Corollary 22's lower bound `⌊f/k⌋·d + C·d` (ticks).
+    pub bound: f64,
+    /// Failure-free (lockstep) decision time for comparison.
+    pub failure_free_time: u64,
+}
+
+impl StretchOutcome {
+    /// Whether the measured time respects (is at least) the bound.
+    pub fn respects_bound(&self) -> bool {
+        self.decision_time as f64 >= self.bound - 1e-9
+    }
+}
+
+/// Runs the Corollary 22 experiment: `n_plus_1` processes, wait-free
+/// budget `f = n`, agreement parameter `k`; measures the survivor's
+/// decision time under [`StretchAdversary`] and the failure-free time
+/// under [`Lockstep`].
+pub fn stretch_experiment(n_plus_1: usize, k: usize, params: TimedParams) -> StretchOutcome {
+    let f = n_plus_1 - 1;
+    let proto = TimedFloodSet::optimal(f, k);
+    let inputs: Vec<u64> = (0..n_plus_1 as u64).collect();
+    let exec = TimedExecutor::new(proto, n_plus_1, params);
+
+    let horizon = params.c2 * params.microrounds() * (proto.rounds + 2) * 4 + 16;
+    let mut stretch = StretchAdversary {
+        survivor: ProcessId(0),
+        crash_at: 0,
+    };
+    let trace: TimedTrace<u64> = exec.run(&inputs, &mut stretch, horizon);
+    let decision_time = trace
+        .decision(ProcessId(0))
+        .expect("survivor must decide (wait-free)")
+        .0;
+
+    let free = exec.run(&inputs, &mut Lockstep, horizon);
+    let failure_free_time = free.last_decision_time().expect("all decide");
+
+    StretchOutcome {
+        decision_time,
+        bound: params.corollary22_bound(f, k),
+        failure_free_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lockstep_terminates_and_agrees() {
+        let params = TimedParams::new(1, 1, 4);
+        let proto = TimedFloodSet::optimal(2, 1); // 3 rounds
+        let exec = TimedExecutor::new(proto, 3, params);
+        let trace = exec.run(&[4, 2, 9], &mut Lockstep, 10_000);
+        assert_eq!(trace.decisions().len(), 3);
+        assert_eq!(trace.decision_values().len(), 1);
+        assert_eq!(trace.decision_values().first(), Some(&2));
+    }
+
+    #[test]
+    fn round_length_spans_d() {
+        // c1 = 3, d = 8 => p = 3 steps per round; steps at 3,6,9 =>
+        // round 1 completes at 9 ≥ d = 8.
+        let params = TimedParams::new(3, 3, 8);
+        let proto = TimedFloodSet::new(1);
+        let exec = TimedExecutor::new(proto, 2, params);
+        let trace = exec.run(&[1, 0], &mut Lockstep, 1000);
+        assert_eq!(trace.decision(ProcessId(0)).unwrap().0, 9);
+    }
+
+    #[test]
+    fn stretch_outcome_respects_corollary22() {
+        for (c1, c2, d) in [(1u64, 1u64, 4u64), (1, 2, 4), (1, 4, 4), (2, 6, 8)] {
+            let params = TimedParams::new(c1, c2, d);
+            for k in 1..=2usize {
+                for n_plus_1 in [3usize, 4] {
+                    let outcome = stretch_experiment(n_plus_1, k, params);
+                    assert!(
+                        outcome.respects_bound(),
+                        "c1={c1} c2={c2} d={d} k={k} n+1={n_plus_1}: {outcome:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_slower_than_failure_free() {
+        let params = TimedParams::new(1, 4, 4);
+        let outcome = stretch_experiment(3, 1, params);
+        assert!(outcome.decision_time > outcome.failure_free_time);
+    }
+
+    #[test]
+    fn agreement_under_stretch_is_trivial_but_valid() {
+        // lone survivor decides its own value — 1 value ≤ k
+        let params = TimedParams::new(1, 2, 3);
+        let proto = TimedFloodSet::optimal(2, 1);
+        let exec = TimedExecutor::new(proto, 3, params);
+        let mut adv = StretchAdversary {
+            survivor: ProcessId(1),
+            crash_at: 0,
+        };
+        let trace = exec.run(&[7, 3, 9], &mut adv, 10_000);
+        assert_eq!(trace.decision(ProcessId(1)).map(|(_, v)| *v), Some(3));
+    }
+}

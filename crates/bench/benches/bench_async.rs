@@ -1,0 +1,81 @@
+//! E7/E8 benchmarks: asynchronous protocol-complex construction (model
+//! and simulator sides) and the Lemma 11 isomorphism check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_core::process_set;
+use ps_models::{input_simplex, AsyncModel, IisModel};
+use ps_runtime::enumerate_async_views;
+use ps_topology::are_isomorphic;
+use std::hint::black_box;
+
+fn bench_one_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_one_round");
+    for (n_plus_1, f) in [(3usize, 1usize), (3, 2), (4, 1)] {
+        let inputs: Vec<u8> = (0..n_plus_1 as u8).collect();
+        let input = input_simplex(&inputs);
+        let model = AsyncModel::new(n_plus_1, f);
+        group.bench_with_input(
+            BenchmarkId::new("model", format!("n{n_plus_1}_f{f}")),
+            &model,
+            |b, m| b.iter(|| black_box(m.one_round_complex(&input))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simulator", format!("n{n_plus_1}_f{f}")),
+            &(n_plus_1, f),
+            |b, &(n, f)| {
+                let inputs: Vec<u8> = (0..n as u8).collect();
+                b.iter(|| black_box(enumerate_async_views(&inputs, &process_set(n), f, 1)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_two_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_two_rounds");
+    group.sample_size(10);
+    let model = AsyncModel::new(3, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    group.bench_function("model_n3_f1_r2", |b| {
+        b.iter(|| black_box(model.protocol_complex(&input, 2)))
+    });
+    group.finish();
+}
+
+fn bench_lemma11_isomorphism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma11_isomorphism_check");
+    group.sample_size(10);
+    let model = AsyncModel::new(3, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let formula = model.one_round_pseudosphere(&input).realize();
+    let views = model.one_round_complex(&input);
+    group.bench_function("n3_f1", |b| {
+        b.iter(|| black_box(are_isomorphic(&formula, &views)))
+    });
+    group.finish();
+}
+
+fn bench_iis_baseline(c: &mut Criterion) {
+    // §2 baseline: chromatic subdivision vs. the message-passing round
+    let mut group = c.benchmark_group("iis_baseline");
+    group.sample_size(20);
+    let iis = IisModel::new();
+    let input = input_simplex(&[0u8, 1, 2]);
+    group.bench_function("iis_one_round_n3", |b| {
+        b.iter(|| black_box(iis.one_round_complex(&input)))
+    });
+    group.bench_function("iis_two_rounds_n2", |b| {
+        let small = input_simplex(&[0u8, 1]);
+        b.iter(|| black_box(iis.protocol_complex(&small, 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_one_round,
+    bench_two_rounds,
+    bench_lemma11_isomorphism,
+    bench_iis_baseline
+);
+criterion_main!(benches);

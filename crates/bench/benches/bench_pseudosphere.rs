@@ -1,0 +1,55 @@
+//! E1/E2 benchmarks: pseudosphere construction and realization scaling
+//! (Figures 1–2) — facet counts grow as `|U|^(n+1)`; the symbolic form
+//! stays O(n·|U|).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_core::{process_simplex, Pseudosphere};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_realize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pseudosphere_realize");
+    for n in [2usize, 3, 4, 5] {
+        for vals in [2u8, 3] {
+            let family: BTreeSet<u8> = (0..vals).collect();
+            let ps = Pseudosphere::uniform(process_simplex(n), family);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n={n}_vals={vals}")),
+                &ps,
+                |b, ps| b.iter(|| black_box(ps.realize())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_symbolic_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pseudosphere_symbolic");
+    let family: BTreeSet<u8> = (0..4).collect();
+    let a = Pseudosphere::uniform(process_simplex(6), family.clone());
+    let b = Pseudosphere::uniform(process_simplex(6), (1..5).collect());
+    group.bench_function("intersect_n6", |bch| {
+        bch.iter(|| black_box(a.intersect(&b)))
+    });
+    group.bench_function("connectivity_n6", |bch| {
+        bch.iter(|| black_box(a.connectivity()))
+    });
+    group.bench_function("facet_count_n6", |bch| {
+        bch.iter(|| black_box(a.facet_count()))
+    });
+    group.finish();
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    // the exact Figure 1 object, end to end: construct + realize + count
+    c.bench_function("figure1_binary_3proc_octahedron", |b| {
+        b.iter(|| {
+            let ps = Pseudosphere::uniform(process_simplex(3), [0u8, 1].into_iter().collect());
+            let complex = ps.realize();
+            black_box(complex.f_vector())
+        })
+    });
+}
+
+criterion_group!(benches, bench_realize, bench_symbolic_ops, bench_figure1);
+criterion_main!(benches);

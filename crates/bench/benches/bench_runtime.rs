@@ -1,0 +1,81 @@
+//! Simulator-substrate benchmarks: lockstep executor round throughput
+//! and timed discrete-event engine event throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ps_core::ProcessId;
+use ps_runtime::{
+    FullInformation, Lockstep, NoFailures, SyncExecutor, TimedExecutor, TimedParams, TimedProtocol,
+};
+use std::hint::black_box;
+
+fn bench_sync_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_executor_throughput");
+    group.sample_size(20);
+    for n_plus_1 in [3usize, 4, 5] {
+        // full-information states grow exponentially in rounds; 3 rounds
+        let rounds = 3usize;
+        group.throughput(Throughput::Elements((n_plus_1 * rounds) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_plus_1),
+            &n_plus_1,
+            |b, &n| {
+                let exec = SyncExecutor::new(FullInformation::new(), n, 0);
+                let inputs: Vec<u8> = (0..n as u8).collect();
+                b.iter(|| black_box(exec.run(&inputs, &mut NoFailures, rounds)))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A cheap ping protocol for raw event-loop measurement: broadcast each
+/// step, decide after `limit` steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Chatter {
+    limit: u64,
+}
+
+impl TimedProtocol for Chatter {
+    type Input = u8;
+    type State = u64;
+    type Msg = u8;
+    type Output = u8;
+    fn init(&self, _: ProcessId, _: usize, _: u8, _: &TimedParams) -> u64 {
+        0
+    }
+    fn on_step(
+        &self,
+        state: u64,
+        _now: u64,
+        step: u64,
+        inbox: &[(ProcessId, u8)],
+    ) -> (u64, Option<u8>, Option<u8>) {
+        let st = state + inbox.len() as u64;
+        let decide = (step >= self.limit).then_some(0u8);
+        (st, Some(0), decide)
+    }
+}
+
+fn bench_timed_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timed_executor_events");
+    group.sample_size(20);
+    for n_plus_1 in [2usize, 4, 8] {
+        let steps = 200u64;
+        // events ≈ steps * n + messages (n*(n-1) per step)
+        group.throughput(Throughput::Elements(steps * (n_plus_1 * n_plus_1) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_plus_1),
+            &n_plus_1,
+            |b, &n| {
+                let params = TimedParams::new(1, 2, 3);
+                let exec = TimedExecutor::new(Chatter { limit: steps }, n, params);
+                let inputs = vec![0u8; n];
+                b.iter(|| black_box(exec.run(&inputs, &mut Lockstep, steps * 4)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_executor, bench_timed_executor);
+criterion_main!(benches);

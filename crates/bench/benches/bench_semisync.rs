@@ -1,0 +1,40 @@
+//! E11/E12 benchmarks: semi-synchronous complex construction across
+//! microround counts, and the Corollary 22 stretch experiment across the
+//! timing-uncertainty ratio C = c2/c1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_agreement::stretch_experiment;
+use ps_models::{input_simplex, SemiSyncModel};
+use ps_runtime::TimedParams;
+use std::hint::black_box;
+
+fn bench_one_round_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semisync_one_round");
+    for p in [1u32, 2, 4, 8] {
+        let model = SemiSyncModel::new(3, 1, 1, p);
+        let input = input_simplex(&[0u8, 1, 2]);
+        group.bench_with_input(BenchmarkId::new("symbolic", p), &p, |b, _| {
+            b.iter(|| black_box(model.one_round_union(&input)))
+        });
+        if p <= 4 {
+            group.bench_with_input(BenchmarkId::new("explicit_views", p), &p, |b, _| {
+                b.iter(|| black_box(model.one_round_complex(&input)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_stretch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corollary22_stretch");
+    for c2 in [1u64, 4, 16, 64] {
+        let params = TimedParams::new(1, c2, 8);
+        group.bench_with_input(BenchmarkId::new("C", c2), &params, |b, &params| {
+            b.iter(|| black_box(stretch_experiment(3, 1, params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_round_union, bench_stretch);
+criterion_main!(benches);

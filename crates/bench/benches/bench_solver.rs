@@ -1,0 +1,103 @@
+//! E8/E10 benchmarks: the exhaustive decision-map solver — impossible
+//! (full search) vs. solvable (first witness) instances, and homology of
+//! task complexes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ps_agreement::{
+    allowed_values, async_task_complex, sync_task_complex, DecisionMapSolver, KSetAgreement,
+    SolverConfig,
+};
+use std::hint::black_box;
+
+fn bench_impossible_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_impossible");
+    group.sample_size(10);
+
+    let task = KSetAgreement::canonical(1);
+    let async_c = async_task_complex(&task, 3, 1, 1);
+    group.bench_function("async_consensus_f1_r1", |b| {
+        b.iter(|| {
+            let mut s = DecisionMapSolver::new();
+            black_box(s.solve(&async_c, allowed_values, 1).is_none())
+        })
+    });
+
+    let sync_c = sync_task_complex(&task, 3, 1, 1, 1);
+    group.bench_function("sync_consensus_f1_r1", |b| {
+        b.iter(|| {
+            let mut s = DecisionMapSolver::new();
+            black_box(s.solve(&sync_c, allowed_values, 1).is_none())
+        })
+    });
+    group.finish();
+}
+
+fn bench_solvable_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_solvable");
+    group.sample_size(10);
+
+    let task = KSetAgreement::canonical(1);
+    let sync_c2 = sync_task_complex(&task, 3, 1, 1, 2);
+    group.bench_function("sync_consensus_f1_r2", |b| {
+        b.iter(|| {
+            let mut s = DecisionMapSolver::new();
+            black_box(s.solve(&sync_c2, allowed_values, 1).is_some())
+        })
+    });
+
+    let task2 = KSetAgreement::canonical(2);
+    let async_c = async_task_complex(&task2, 3, 1, 1);
+    group.bench_function("async_2set_f1_r1", |b| {
+        b.iter(|| {
+            let mut s = DecisionMapSolver::new();
+            black_box(s.solve(&async_c, allowed_values, 2).is_some())
+        })
+    });
+    group.finish();
+}
+
+fn bench_task_complex_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_complex_construction");
+    group.sample_size(10);
+    let task = KSetAgreement::canonical(1);
+    group.bench_function("sync_n3_f1_r2", |b| {
+        b.iter(|| black_box(sync_task_complex(&task, 3, 1, 1, 2)))
+    });
+    group.bench_function("async_n3_f1_r1", |b| {
+        b.iter(|| black_box(async_task_complex(&task, 3, 1, 1)))
+    });
+    group.finish();
+}
+
+fn bench_forward_checking_ablation(c: &mut Criterion) {
+    // the design-choice ablation: identical verdicts with and without
+    // forward checking; the bench quantifies the propagation payoff.
+    let mut group = c.benchmark_group("solver_ablation_forward_checking");
+    group.sample_size(10);
+    let task = KSetAgreement::canonical(1);
+    let complex = sync_task_complex(&task, 3, 1, 1, 1); // impossible instance
+    group.bench_function("with_propagation", |b| {
+        b.iter(|| {
+            let mut s = DecisionMapSolver::new();
+            black_box(s.solve(&complex, allowed_values, 1).is_none())
+        })
+    });
+    group.bench_function("without_propagation", |b| {
+        b.iter(|| {
+            let mut s = DecisionMapSolver::with_config(SolverConfig {
+                forward_checking: false,
+            });
+            black_box(s.solve(&complex, allowed_values, 1).is_none())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_impossible_instances,
+    bench_solvable_instances,
+    bench_task_complex_construction,
+    bench_forward_checking_ablation
+);
+criterion_main!(benches);

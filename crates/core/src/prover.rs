@@ -1,0 +1,548 @@
+//! The Mayer–Vietoris connectivity prover.
+//!
+//! This is the executable form of the paper's proof method: Theorem 2
+//! (the Mayer–Vietoris consequence) plus the exact connectivity of single
+//! pseudospheres (Corollary 6 and the join structure) let one certify
+//! `k`-connectivity of an ordered union of pseudospheres *without ever
+//! materializing the complex*. The prover replays the induction of
+//! Lemmas 12, 16/17, and 21 and returns the derivation tree as a proof
+//! object.
+//!
+//! The prover is **one-sided**: `Ok(proof)` certifies `k`-connectivity;
+//! `Err(..)` means this induction strategy failed (the union may still be
+//! `k`-connected — cross-check with homology for ground truth).
+
+use std::fmt;
+
+use ps_topology::Label;
+
+use crate::{Pseudosphere, PseudosphereUnion};
+
+/// A derivation certifying that a union of pseudospheres is `k`-connected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Proof {
+    /// `k < -1`: every complex is vacuously `k`-connected.
+    Vacuous {
+        /// The certified connectivity level.
+        k: i32,
+    },
+    /// `k = -1`: the union has a non-void member, hence is nonempty.
+    Nonempty {
+        /// The certified connectivity level (always `-1`).
+        k: i32,
+    },
+    /// A single pseudosphere whose exact connectivity (Corollary 6 /
+    /// cone degeneration) is at least `k`.
+    Single {
+        /// Symbolic description of the pseudosphere.
+        description: String,
+        /// Its exact connectivity.
+        connectivity: i32,
+        /// The certified level `k ≤ connectivity`.
+        k: i32,
+    },
+    /// Theorem 2: `K ∪ L` is `k`-connected because `K` and `L` are
+    /// `k`-connected and `K ∩ L` is nonempty and `(k-1)`-connected.
+    MayerVietoris {
+        /// The certified connectivity level.
+        k: i32,
+        /// Proof for the union of all members but the last (`K`).
+        left: Box<Proof>,
+        /// Proof for the last member (`L`).
+        right: Box<Proof>,
+        /// Proof for `K ∩ L` at level `k - 1`.
+        intersection: Box<Proof>,
+    },
+}
+
+impl Proof {
+    /// Number of nodes in the derivation tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Proof::Vacuous { .. } | Proof::Nonempty { .. } | Proof::Single { .. } => 1,
+            Proof::MayerVietoris {
+                left,
+                right,
+                intersection,
+                ..
+            } => 1 + left.size() + right.size() + intersection.size(),
+        }
+    }
+
+    /// The connectivity level this proof certifies.
+    pub fn level(&self) -> i32 {
+        match self {
+            Proof::Vacuous { k }
+            | Proof::Nonempty { k }
+            | Proof::Single { k, .. }
+            | Proof::MayerVietoris { k, .. } => *k,
+        }
+    }
+
+    fn render(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Proof::Vacuous { k } => {
+                out.push_str(&format!("{pad}vacuous: every complex is {k}-connected\n"));
+            }
+            Proof::Nonempty { k } => {
+                out.push_str(&format!("{pad}nonempty union ⇒ ({k})-connected\n"));
+            }
+            Proof::Single {
+                description,
+                connectivity,
+                k,
+            } => {
+                let conn = if *connectivity == i32::MAX {
+                    "∞ (cone)".to_string()
+                } else {
+                    connectivity.to_string()
+                };
+                out.push_str(&format!(
+                    "{pad}Cor. 6: {description} is exactly {conn}-connected ≥ {k}\n"
+                ));
+            }
+            Proof::MayerVietoris {
+                k,
+                left,
+                right,
+                intersection,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Thm. 2 (Mayer–Vietoris) at level {k}:\n"
+                ));
+                left.render(indent + 1, out);
+                right.render(indent + 1, out);
+                out.push_str(&format!("{pad}  with intersection ({})-connected:\n", k - 1));
+                intersection.render(indent + 2, out);
+            }
+        }
+    }
+}
+
+impl Proof {
+    /// Renders the derivation tree as a Graphviz DOT digraph (leaves =
+    /// pseudosphere connectivity facts, internal nodes = Theorem 2
+    /// applications).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph proof {\n  node [shape=box, fontsize=10];\n");
+        let mut counter = 0usize;
+        self.dot_node(&mut out, &mut counter);
+        out.push_str("}\n");
+        out
+    }
+
+    fn dot_node(&self, out: &mut String, counter: &mut usize) -> usize {
+        let id = *counter;
+        *counter += 1;
+        match self {
+            Proof::Vacuous { k } => {
+                out.push_str(&format!("  n{id} [label=\"vacuous: {k}-connected\"];\n"));
+            }
+            Proof::Nonempty { k } => {
+                out.push_str(&format!("  n{id} [label=\"nonempty ⇒ ({k})-connected\"];\n"));
+            }
+            Proof::Single {
+                description,
+                connectivity,
+                k,
+            } => {
+                let conn = if *connectivity == i32::MAX {
+                    "∞".to_string()
+                } else {
+                    connectivity.to_string()
+                };
+                let escaped = description.replace('\"', "'");
+                out.push_str(&format!(
+                    "  n{id} [label=\"Cor.6: {escaped}\\nconn {conn} ≥ {k}\"];\n"
+                ));
+            }
+            Proof::MayerVietoris {
+                k,
+                left,
+                right,
+                intersection,
+            } => {
+                out.push_str(&format!(
+                    "  n{id} [label=\"Thm.2 (MV) level {k}\", shape=ellipse];\n"
+                ));
+                let l = left.dot_node(out, counter);
+                let r = right.dot_node(out, counter);
+                let i = intersection.dot_node(out, counter);
+                out.push_str(&format!("  n{id} -> n{l} [label=\"K\"];\n"));
+                out.push_str(&format!("  n{id} -> n{r} [label=\"L\"];\n"));
+                out.push_str(&format!("  n{id} -> n{i} [label=\"K∩L\"];\n"));
+            }
+        }
+        id
+    }
+}
+
+impl fmt::Display for Proof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(0, &mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Why the prover failed (the union may still be `k`-connected;
+/// this is only a failure of the paper's induction strategy).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProveFailure {
+    /// The union is void but `k ≥ -1` was requested.
+    VoidUnion {
+        /// The requested level.
+        k: i32,
+    },
+    /// A single pseudosphere has exact connectivity below `k`.
+    InsufficientConnectivity {
+        /// Symbolic description of the offending pseudosphere.
+        description: String,
+        /// Its exact connectivity.
+        connectivity: i32,
+        /// The requested level.
+        k: i32,
+    },
+}
+
+impl fmt::Display for ProveFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProveFailure::VoidUnion { k } => {
+                write!(f, "void union cannot be {k}-connected")
+            }
+            ProveFailure::InsufficientConnectivity {
+                description,
+                connectivity,
+                k,
+            } => write!(
+                f,
+                "{description} is exactly {connectivity}-connected < requested {k}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProveFailure {}
+
+/// Statistics from a prover run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProverStats {
+    /// Leaf pseudosphere connectivity evaluations.
+    pub leaf_evaluations: usize,
+    /// Mayer–Vietoris applications.
+    pub mv_applications: usize,
+    /// Symbolic pseudosphere intersections computed.
+    pub intersections: usize,
+}
+
+/// The Mayer–Vietoris connectivity prover. Stateless apart from counters.
+#[derive(Debug, Default)]
+pub struct MvProver {
+    stats: ProverStats,
+}
+
+impl MvProver {
+    /// Creates a fresh prover.
+    pub fn new() -> Self {
+        MvProver::default()
+    }
+
+    /// Counters accumulated across calls.
+    pub fn stats(&self) -> ProverStats {
+        self.stats
+    }
+
+    /// Attempts to certify that `union` is `k`-connected by the paper's
+    /// induction (Theorem 2 + Corollary 6).
+    ///
+    /// # Errors
+    ///
+    /// [`ProveFailure`] when the strategy cannot establish the bound; see
+    /// the module docs for the one-sidedness caveat.
+    pub fn prove_k_connected<P: Label, U: Label>(
+        &mut self,
+        union: &PseudosphereUnion<P, U>,
+        k: i32,
+    ) -> Result<Proof, ProveFailure> {
+        if k < -1 {
+            return Ok(Proof::Vacuous { k });
+        }
+        if union.is_empty() {
+            return Err(ProveFailure::VoidUnion { k });
+        }
+        if k == -1 {
+            // members are non-void by construction
+            return Ok(Proof::Nonempty { k });
+        }
+        let members = union.members();
+        if members.len() == 1 {
+            return self.prove_single(&members[0], k);
+        }
+        // K = all but last, L = last (the paper peels in enumeration order)
+        let last = members.len() - 1;
+        let left_union = PseudosphereUnion::from_members(members[..last].iter().cloned());
+        let l = &members[last];
+
+        let left = self.prove_k_connected(&left_union, k)?;
+        let right = self.prove_single(l, k)?;
+        self.stats.intersections += left_union.len();
+        let inter = left_union.intersect_with(l);
+        let intersection = self.prove_k_connected(&inter, k - 1)?;
+        self.stats.mv_applications += 1;
+        Ok(Proof::MayerVietoris {
+            k,
+            left: Box::new(left),
+            right: Box::new(right),
+            intersection: Box::new(intersection),
+        })
+    }
+
+    fn prove_single<P: Label, U: Label>(
+        &mut self,
+        ps: &Pseudosphere<P, U>,
+        k: i32,
+    ) -> Result<Proof, ProveFailure> {
+        self.stats.leaf_evaluations += 1;
+        let connectivity = ps.connectivity();
+        if connectivity >= k {
+            Ok(Proof::Single {
+                description: ps.describe(),
+                connectivity,
+                k,
+            })
+        } else {
+            Err(ProveFailure::InsufficientConnectivity {
+                description: ps.describe(),
+                connectivity,
+                k,
+            })
+        }
+    }
+
+    /// Finds the highest level `k ≤ cap` this prover can certify, with
+    /// its proof; `None` if even `(-1)`-connectivity fails (void union).
+    pub fn best_provable<P: Label, U: Label>(
+        &mut self,
+        union: &PseudosphereUnion<P, U>,
+        cap: i32,
+    ) -> Option<(i32, Proof)> {
+        let mut best: Option<(i32, Proof)> = None;
+        for k in -1..=cap {
+            match self.prove_k_connected(union, k) {
+                Ok(proof) => best = Some((k, proof)),
+                Err(_) => break,
+            }
+        }
+        best
+    }
+
+    /// Corollary 8 as a one-call convenience: given a base simplex and
+    /// value families `A_0, ..., A_t` with a common element, the union
+    /// `∪_i ψ(S^m; A_i)` is `(m-1)`-connected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProveFailure`] when the hypothesis fails (e.g. empty
+    /// common intersection can break the induction).
+    pub fn prove_corollary8<P: Label, U: Label>(
+        &mut self,
+        base: &ps_topology::Simplex<P>,
+        families: &[std::collections::BTreeSet<U>],
+    ) -> Result<Proof, ProveFailure> {
+        let union: PseudosphereUnion<P, U> = families
+            .iter()
+            .map(|a| Pseudosphere::uniform(base.clone(), a.clone()))
+            .collect();
+        self.prove_k_connected(&union, base.dim() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{process_simplex, ProcessId};
+    use ps_topology::ConnectivityAnalyzer;
+    use std::collections::BTreeSet;
+
+    fn binary(n: usize) -> Pseudosphere<ProcessId, u8> {
+        Pseudosphere::uniform(process_simplex(n), [0u8, 1].into_iter().collect())
+    }
+
+    fn set(vals: &[u8]) -> BTreeSet<u8> {
+        vals.iter().copied().collect()
+    }
+
+    #[test]
+    fn vacuous_levels() {
+        let mut p = MvProver::new();
+        let u: PseudosphereUnion<ProcessId, u8> = PseudosphereUnion::new();
+        assert!(matches!(
+            p.prove_k_connected(&u, -2),
+            Ok(Proof::Vacuous { k: -2 })
+        ));
+        assert_eq!(
+            p.prove_k_connected(&u, -1),
+            Err(ProveFailure::VoidUnion { k: -1 })
+        );
+    }
+
+    #[test]
+    fn single_pseudosphere_exact() {
+        let mut p = MvProver::new();
+        let u = PseudosphereUnion::single(binary(3)); // 2-sphere, 1-connected
+        assert!(p.prove_k_connected(&u, 1).is_ok());
+        assert!(p.prove_k_connected(&u, 0).is_ok());
+        let fail = p.prove_k_connected(&u, 2).unwrap_err();
+        assert!(matches!(
+            fail,
+            ProveFailure::InsufficientConnectivity { connectivity: 1, k: 2, .. }
+        ));
+        assert!(p.stats().leaf_evaluations >= 3);
+    }
+
+    #[test]
+    fn corollary8_common_intersection() {
+        // A_0 = {0,1}, A_1 = {0,2}, A_2 = {0,1,2}: common element 0.
+        let base = process_simplex(3); // S^2
+        let mut p = MvProver::new();
+        let proof = p
+            .prove_corollary8(&base, &[set(&[0, 1]), set(&[0, 2]), set(&[0, 1, 2])])
+            .expect("corollary 8 should apply");
+        assert_eq!(proof.level(), 1);
+        // cross-check with homology
+        let union: PseudosphereUnion<ProcessId, u8> =
+            [set(&[0, 1]), set(&[0, 2]), set(&[0, 1, 2])]
+                .iter()
+                .map(|a| Pseudosphere::uniform(base.clone(), a.clone()))
+                .collect();
+        let an = ConnectivityAnalyzer::new(&union.realize());
+        assert!(an.is_k_connected(1).is_yes());
+    }
+
+    #[test]
+    fn corollary8_fails_without_common_element_here() {
+        // A_0 = {0}, A_1 = {1}: disjoint singletons on S^1. The union is
+        // two disjoint edges? No: ψ(S^1;{0}) and ψ(S^1;{1}) are disjoint
+        // 1-simplexes, union disconnected, so 0-connectivity must fail.
+        let base = process_simplex(2);
+        let mut p = MvProver::new();
+        let res = p.prove_corollary8(&base, &[set(&[0]), set(&[1])]);
+        assert!(res.is_err());
+        // ground truth agrees
+        let union: PseudosphereUnion<ProcessId, u8> = [set(&[0]), set(&[1])]
+            .iter()
+            .map(|a| Pseudosphere::uniform(base.clone(), a.clone()))
+            .collect();
+        assert!(!union.realize().is_connected());
+    }
+
+    #[test]
+    fn proof_tree_renders() {
+        let base = process_simplex(2);
+        let mut p = MvProver::new();
+        let proof = p
+            .prove_corollary8(&base, &[set(&[0, 1]), set(&[1, 2])])
+            .unwrap();
+        let text = proof.to_string();
+        assert!(text.contains("Mayer–Vietoris"));
+        assert!(text.contains("Cor. 6"));
+        assert!(proof.size() >= 3);
+    }
+
+    #[test]
+    fn prover_matches_homology_on_sweep() {
+        // Sweep small unions of uniform pseudospheres with a common value;
+        // whenever the prover certifies k, homology must agree.
+        let families = [set(&[0, 1]), set(&[0, 2]), set(&[0, 1, 2]), set(&[0])];
+        for n in 2..=3usize {
+            let base = process_simplex(n);
+            for i in 0..families.len() {
+                for j in (i + 1)..families.len() {
+                    let union: PseudosphereUnion<ProcessId, u8> =
+                        [families[i].clone(), families[j].clone()]
+                            .into_iter()
+                            .map(|a| Pseudosphere::uniform(base.clone(), a))
+                            .collect();
+                    let mut p = MvProver::new();
+                    for k in -1..=(n as i32 - 2) {
+                        if p.prove_k_connected(&union, k).is_ok() {
+                            let an = ConnectivityAnalyzer::new(&union.realize());
+                            assert!(
+                                an.is_k_connected(k).is_yes(),
+                                "prover said {k}-connected but homology disagrees: n={n} i={i} j={j}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failure_display() {
+        let f = ProveFailure::VoidUnion { k: 0 };
+        assert_eq!(f.to_string(), "void union cannot be 0-connected");
+        let g = ProveFailure::InsufficientConnectivity {
+            description: "ψ".into(),
+            connectivity: 0,
+            k: 1,
+        };
+        assert!(g.to_string().contains("exactly 0-connected"));
+    }
+
+    #[test]
+    fn best_provable_finds_exact_level() {
+        let mut p = MvProver::new();
+        // single 2-sphere pseudosphere: best is exactly 1
+        let u = PseudosphereUnion::single(binary(3));
+        let (k, proof) = p.best_provable(&u, 5).unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(proof.level(), 1);
+        // void union: nothing provable
+        let v: PseudosphereUnion<ProcessId, u8> = PseudosphereUnion::new();
+        assert!(p.best_provable(&v, 2).is_none());
+        // cap limits the search
+        let (k2, _) = p.best_provable(&u, 0).unwrap();
+        assert_eq!(k2, 0);
+    }
+
+    #[test]
+    fn proof_to_dot() {
+        let base = process_simplex(2);
+        let mut p = MvProver::new();
+        let proof = p
+            .prove_corollary8(&base, &[set(&[0, 1]), set(&[1, 2])])
+            .unwrap();
+        let dot = proof.to_dot();
+        assert!(dot.starts_with("digraph proof {"));
+        assert!(dot.contains("Thm.2 (MV)"));
+        assert!(dot.contains("Cor.6"));
+        assert!(dot.contains("K∩L"));
+        assert!(dot.ends_with("}\n"));
+        // one node-definition line per proof node (edges also carry
+        // labels, so filter out `->` lines)
+        let node_defs = dot
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                t.strip_prefix('n')
+                    .is_some_and(|r| r.starts_with(|c: char| c.is_ascii_digit()))
+                    && !t.contains("->")
+            })
+            .count();
+        assert_eq!(node_defs, proof.size());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = MvProver::new();
+        let base = process_simplex(2);
+        let _ = p.prove_corollary8(&base, &[set(&[0, 1]), set(&[0, 2])]);
+        let s = p.stats();
+        assert!(s.leaf_evaluations > 0);
+        assert!(s.mv_applications > 0);
+        assert!(s.intersections > 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Executable checkers for Theorems 5 and 7.
+//!
+//! Theorem 5: if a protocol `P` carries every `l`-dimensional input face
+//! to an `(l - c - 1)`-connected complex, then `P` carries any input
+//! pseudosphere `ψ(S^m; U_0..U_m)` (nonempty families) to an
+//! `(m - c - 1)`-connected complex. Theorem 7 extends this to unions
+//! `∪_i ψ(S^m; A_i)` with `∩_i A_i ≠ ∅`.
+//!
+//! These are theorems *about any model*, so the checker is generic over a
+//! [`SimplexProtocol`]: anything mapping input simplexes to complexes.
+//! The checkers evaluate both hypothesis and conclusion on concrete
+//! instances — each passing run is a machine-checked instance of the
+//! theorem.
+
+use std::collections::BTreeSet;
+
+use ps_topology::{Complex, ConnectivityAnalyzer, Label, Simplex};
+
+use crate::{Pseudosphere, PseudosphereUnion};
+
+/// A protocol viewed as a map from input simplexes to complexes
+/// (the paper's `P(S^m)`, §4).
+///
+/// `apply` must be *monotone-compatible* with the union semantics of
+/// `P(Z) = ∪ P(S)` over all simplexes `S` of `Z`, which
+/// [`SimplexProtocol::apply_complex`] implements directly.
+pub trait SimplexProtocol<VIn: Label, VOut: Label> {
+    /// The subcomplex of final states for executions whose participating
+    /// set/input is exactly the global state `input`.
+    fn apply(&self, input: &Simplex<VIn>) -> Complex<VOut>;
+
+    /// `P(Z) = ∪_{S ∈ Z} P(S)` over every simplex of `z` (all dimensions).
+    fn apply_complex(&self, z: &Complex<VIn>) -> Complex<VOut> {
+        let mut out = Complex::new();
+        for layer in z.all_simplices() {
+            for s in layer {
+                out = out.union(&self.apply(&s));
+            }
+        }
+        out
+    }
+}
+
+impl<VIn: Label, VOut: Label, F> SimplexProtocol<VIn, VOut> for F
+where
+    F: Fn(&Simplex<VIn>) -> Complex<VOut>,
+{
+    fn apply(&self, input: &Simplex<VIn>) -> Complex<VOut> {
+        self(input)
+    }
+}
+
+/// Outcome of checking one theorem instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TheoremCheck {
+    /// Whether the hypothesis held on this instance.
+    pub hypothesis_holds: bool,
+    /// Whether the conclusion held on this instance.
+    pub conclusion_holds: bool,
+    /// The connectivity level the conclusion asserts (`m - c - 1`).
+    pub asserted_level: i32,
+}
+
+impl TheoremCheck {
+    /// `true` when the instance confirms the theorem (hypothesis fails,
+    /// or both hypothesis and conclusion hold).
+    pub fn confirms(&self) -> bool {
+        !self.hypothesis_holds || self.conclusion_holds
+    }
+}
+
+/// Checks one instance of **Theorem 5** on a concrete pseudosphere.
+///
+/// Hypothesis: for every face `σ` (of any dimension `l`) of every facet of
+/// the realized pseudosphere, `P(σ)` is `(l - c - 1)`-connected.
+/// Conclusion: `P(ψ)` is `(m - c - 1)`-connected, `m = ψ.dim()`.
+pub fn check_theorem5<P, U, VOut, Pr>(
+    protocol: &Pr,
+    ps: &Pseudosphere<P, U>,
+    c: i32,
+) -> TheoremCheck
+where
+    P: Label,
+    U: Label,
+    VOut: Label,
+    Pr: SimplexProtocol<(P, U), VOut>,
+{
+    assert!(c >= 0, "Theorem 5 requires c ≥ 0");
+    let realized = ps.realize();
+    let mut hypothesis_holds = true;
+    'outer: for layer in realized.all_simplices() {
+        for sigma in layer {
+            let l = sigma.dim();
+            let image = protocol.apply(&sigma);
+            let an = ConnectivityAnalyzer::new(&image);
+            if !an.is_k_connected(l - c - 1).is_yes() {
+                hypothesis_holds = false;
+                break 'outer;
+            }
+        }
+    }
+    let m = ps.dim();
+    let asserted_level = m - c - 1;
+    let image = protocol.apply_complex(&realized);
+    let conclusion_holds = ConnectivityAnalyzer::new(&image)
+        .is_k_connected(asserted_level)
+        .is_yes();
+    TheoremCheck {
+        hypothesis_holds,
+        conclusion_holds,
+        asserted_level,
+    }
+}
+
+/// Checks one instance of **Theorem 7** / **Corollary 8**: a union of
+/// uniform pseudospheres `∪_i ψ(S^m; A_i)` with `∩_i A_i ≠ ∅`.
+///
+/// The hypothesis on the protocol is as in Theorem 5 (checked over the
+/// union's realization); the common-intersection condition is checked on
+/// the families. The conclusion asserts `P(∪_i ψ)` is
+/// `(m - c - 1)`-connected.
+pub fn check_theorem7<P, U, VOut, Pr>(
+    protocol: &Pr,
+    base: &Simplex<P>,
+    families: &[BTreeSet<U>],
+    c: i32,
+) -> TheoremCheck
+where
+    P: Label,
+    U: Label,
+    VOut: Label,
+    Pr: SimplexProtocol<(P, U), VOut>,
+{
+    assert!(c >= 0, "Theorem 7 requires c ≥ 0");
+    let union: PseudosphereUnion<P, U> = families
+        .iter()
+        .map(|a| Pseudosphere::uniform(base.clone(), a.clone()))
+        .collect();
+    let realized = union.realize();
+
+    let mut common = families.first().cloned().unwrap_or_default();
+    for a in families.iter().skip(1) {
+        common = common.intersection(a).cloned().collect();
+    }
+    let mut hypothesis_holds = !common.is_empty();
+    if hypothesis_holds {
+        'outer: for layer in realized.all_simplices() {
+            for sigma in layer {
+                let l = sigma.dim();
+                let image = protocol.apply(&sigma);
+                let an = ConnectivityAnalyzer::new(&image);
+                if !an.is_k_connected(l - c - 1).is_yes() {
+                    hypothesis_holds = false;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let m = base.dim();
+    let asserted_level = m - c - 1;
+    let image = protocol.apply_complex(&realized);
+    let conclusion_holds = ConnectivityAnalyzer::new(&image)
+        .is_k_connected(asserted_level)
+        .is_yes();
+    TheoremCheck {
+        hypothesis_holds,
+        conclusion_holds,
+        asserted_level,
+    }
+}
+
+/// The identity protocol: each process halts immediately with its input.
+/// Substituting it into Theorem 5 yields Corollary 6, into Theorem 7
+/// yields Corollary 8.
+pub fn identity_protocol<V: Label>() -> impl SimplexProtocol<V, V> {
+    |input: &Simplex<V>| {
+        if input.is_empty() {
+            Complex::new()
+        } else {
+            Complex::simplex(input.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{process_simplex, ProcessId};
+
+    fn set(vals: &[u8]) -> BTreeSet<u8> {
+        vals.iter().copied().collect()
+    }
+
+    #[test]
+    fn corollary6_via_theorem5_identity() {
+        // identity protocol has c = 0: P(S^l) = S^l is contractible,
+        // certainly (l-1)-connected; conclusion: ψ is (m-1)-connected.
+        let proto = identity_protocol::<(ProcessId, u8)>();
+        for n in 2..=3usize {
+            let ps = Pseudosphere::uniform(process_simplex(n), set(&[0, 1]));
+            let check = check_theorem5(&proto, &ps, 0);
+            assert!(check.hypothesis_holds, "n={n}");
+            assert!(check.conclusion_holds, "n={n}");
+            assert_eq!(check.asserted_level, n as i32 - 2);
+            assert!(check.confirms());
+        }
+    }
+
+    #[test]
+    fn corollary8_via_theorem7_identity() {
+        let proto = identity_protocol::<(ProcessId, u8)>();
+        let base = process_simplex(3);
+        let check = check_theorem7(&proto, &base, &[set(&[0, 1]), set(&[0, 2])], 0);
+        assert!(check.hypothesis_holds);
+        assert!(check.conclusion_holds);
+        assert_eq!(check.asserted_level, 1);
+    }
+
+    #[test]
+    fn theorem7_hypothesis_fails_without_common_value() {
+        let proto = identity_protocol::<(ProcessId, u8)>();
+        let base = process_simplex(2);
+        let check = check_theorem7(&proto, &base, &[set(&[0]), set(&[1])], 0);
+        assert!(!check.hypothesis_holds);
+        assert!(check.confirms()); // theorem not contradicted
+    }
+
+    #[test]
+    fn destructive_protocol_fails_hypothesis() {
+        // A "protocol" that maps every input to a disconnected pair of
+        // points violates the hypothesis for l >= 1, c = 0.
+        let bad = |_: &Simplex<(ProcessId, u8)>| {
+            Complex::from_facets([
+                Simplex::vertex(0u8),
+                Simplex::vertex(1u8),
+            ])
+        };
+        let ps = Pseudosphere::uniform(process_simplex(2), set(&[0, 1]));
+        let check = check_theorem5(&bad, &ps, 0);
+        assert!(!check.hypothesis_holds);
+        assert!(check.confirms());
+    }
+
+    #[test]
+    #[should_panic(expected = "c ≥ 0")]
+    fn negative_c_rejected() {
+        // with c = -1 a subdivision protocol would *falsely* refute the
+        // theorem (contractible images on faces, but the subdivision of
+        // ψ is only (m-1)-connected) — the paper requires c ≥ 0.
+        let proto = identity_protocol::<(ProcessId, u8)>();
+        let ps = Pseudosphere::uniform(process_simplex(2), set(&[0, 1]));
+        let _ = check_theorem5(&proto, &ps, -1);
+    }
+
+    #[test]
+    fn apply_complex_unions_all_simplexes() {
+        let proto = identity_protocol::<u8>();
+        let z = Complex::from_facets([Simplex::from_iter([0u8, 1]), Simplex::from_iter([2u8])]);
+        let img = proto.apply_complex(&z);
+        assert_eq!(img, z);
+    }
+}

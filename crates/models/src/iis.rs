@@ -1,0 +1,236 @@
+//! The iterated immediate snapshot (IIS) model of Borowsky–Gafni
+//! \[BG97\] — the shared-memory round structure the paper cites as the
+//! analog of its asynchronous message-passing construction (§2, §6:
+//! "this set of executions looks something like a message-passing analog
+//! of the executions arising in the iterated immediate snapshot model").
+//!
+//! One IIS round on participants `S`: an *ordered partition*
+//! `(B_1, ..., B_m)` of the participants; a process in block `B_j` sees
+//! exactly the states of `B_1 ∪ ... ∪ B_j`. The one-round complex is the
+//! standard chromatic subdivision of `S` (13 facets for three
+//! processes), which is a subdivision — hence contractible — so the
+//! wait-free impossibility of k-set agreement follows for every `k ≤ n`.
+//! Implemented here as the comparison baseline for `AsyncModel`.
+
+use std::collections::BTreeSet;
+
+use ps_core::ProcessId;
+use ps_topology::{Complex, Label, Simplex};
+
+use crate::view::{input_views, InputSimplex, View};
+
+/// The iterated immediate snapshot model (wait-free by construction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IisModel;
+
+impl IisModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        IisModel
+    }
+
+    /// The one-round (one immediate snapshot) complex on `input`.
+    pub fn one_round_complex<I: Label>(&self, input: &InputSimplex<I>) -> Complex<View<I>> {
+        self.protocol_complex(input, 1)
+    }
+
+    /// The `r`-iterated immediate snapshot complex: the `r`-fold
+    /// chromatic subdivision with full-information views.
+    pub fn protocol_complex<I: Label>(
+        &self,
+        input: &InputSimplex<I>,
+        rounds: usize,
+    ) -> Complex<View<I>> {
+        self.rec(&input_views(input), rounds)
+    }
+
+    fn rec<I: Label>(&self, state: &Simplex<View<I>>, rounds: usize) -> Complex<View<I>> {
+        if state.is_empty() {
+            return Complex::new();
+        }
+        if rounds == 0 {
+            return Complex::simplex(state.clone());
+        }
+        let mut out = Complex::new();
+        let views: Vec<&View<I>> = state.vertices().iter().collect();
+        let ids: Vec<ProcessId> = views.iter().map(|v| v.process()).collect();
+        for partition in ordered_partitions(&ids) {
+            // prefix unions of blocks
+            let mut seen: BTreeSet<ProcessId> = BTreeSet::new();
+            let mut facet_verts: Vec<View<I>> = Vec::with_capacity(ids.len());
+            for block in &partition {
+                seen.extend(block.iter().copied());
+                for p in block {
+                    let heard = seen
+                        .iter()
+                        .map(|q| {
+                            let qv = views.iter().find(|v| v.process() == *q).unwrap();
+                            (*q, (*qv).clone())
+                        })
+                        .collect();
+                    facet_verts.push(View::Round {
+                        process: *p,
+                        heard,
+                    });
+                }
+            }
+            let facet = Simplex::new(facet_verts);
+            for sub in self.rec(&facet, rounds - 1).facets() {
+                out.add_simplex(sub.clone());
+            }
+        }
+        out
+    }
+
+    /// Number of facets of the one-round complex on `m` participants:
+    /// the ordered Bell number (Fubini number) of `m`.
+    pub fn one_round_facet_count(m: usize) -> u64 {
+        // a(m) = Σ_{j=1..m} C(m,j) a(m-j), a(0) = 1
+        let mut a = vec![0u64; m + 1];
+        a[0] = 1;
+        for i in 1..=m {
+            for j in 1..=i {
+                a[i] += binomial(i, j) * a[i - j];
+            }
+        }
+        a[m]
+    }
+}
+
+fn binomial(n: usize, k: usize) -> u64 {
+    let mut r = 1u64;
+    for i in 0..k.min(n - k) {
+        r = r * (n - i) as u64 / (i + 1) as u64;
+    }
+    r
+}
+
+/// All ordered partitions of `items` into nonempty blocks.
+fn ordered_partitions(items: &[ProcessId]) -> Vec<Vec<Vec<ProcessId>>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    // choose the first block: any nonempty subset
+    let n = items.len();
+    for mask in 1u32..(1 << n) {
+        let (block, rest): (Vec<ProcessId>, Vec<ProcessId>) = items
+            .iter()
+            .enumerate()
+            .partition_map(|(i, p)| (mask & (1 << i) != 0, *p));
+        for mut tail in ordered_partitions(&rest) {
+            let mut partition = vec![block.clone()];
+            partition.append(&mut tail);
+            out.push(partition);
+        }
+    }
+    out
+}
+
+/// Tiny helper: partition an enumerated iterator by a predicate.
+trait PartitionMap<T>: Iterator {
+    fn partition_map(
+        self,
+        f: impl FnMut(Self::Item) -> (bool, T),
+    ) -> (Vec<T>, Vec<T>);
+}
+
+impl<I: Iterator, T> PartitionMap<T> for I {
+    fn partition_map(
+        self,
+        mut f: impl FnMut(Self::Item) -> (bool, T),
+    ) -> (Vec<T>, Vec<T>) {
+        let mut yes = Vec::new();
+        let mut no = Vec::new();
+        for item in self {
+            let (keep, v) = f(item);
+            if keep {
+                yes.push(v);
+            } else {
+                no.push(v);
+            }
+        }
+        (yes, no)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::input_simplex;
+    use ps_topology::{ConnectivityAnalyzer, Homology};
+
+    #[test]
+    fn ordered_partition_counts_are_fubini() {
+        assert_eq!(IisModel::one_round_facet_count(1), 1);
+        assert_eq!(IisModel::one_round_facet_count(2), 3);
+        assert_eq!(IisModel::one_round_facet_count(3), 13);
+        assert_eq!(IisModel::one_round_facet_count(4), 75);
+        let ids: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+        assert_eq!(ordered_partitions(&ids).len(), 13);
+    }
+
+    #[test]
+    fn one_round_two_processes_is_path() {
+        // χ(edge) = path of 3 edges: P sees {P}, both, Q sees {Q}
+        let m = IisModel::new();
+        let c = m.one_round_complex(&input_simplex(&[0u8, 1]));
+        assert_eq!(c.facet_count(), 3);
+        assert_eq!(c.f_vector(), vec![4, 3]);
+        assert!(Homology::reduced(&c).homological_connectivity() == i32::MAX);
+    }
+
+    #[test]
+    fn one_round_three_processes_is_chromatic_subdivision() {
+        let m = IisModel::new();
+        let c = m.one_round_complex(&input_simplex(&[0u8, 1, 2]));
+        assert_eq!(c.facet_count(), 13);
+        // subdivision of a triangle: contractible
+        let an = ConnectivityAnalyzer::new(&c);
+        assert_eq!(an.connectivity(), i32::MAX);
+        assert_eq!(c.euler_characteristic(), 1);
+    }
+
+    #[test]
+    fn two_iterations_still_contractible() {
+        let m = IisModel::new();
+        let c = m.protocol_complex(&input_simplex(&[0u8, 1]), 2);
+        assert_eq!(c.facet_count(), 9); // 3 edges each subdivided into 3
+        assert!(Homology::reduced(&c).homological_connectivity() == i32::MAX);
+    }
+
+    #[test]
+    fn snapshot_views_are_prefix_closed() {
+        // in any facet, the set of heard-sets is totally ordered by
+        // inclusion (the defining property of immediate snapshots)
+        let m = IisModel::new();
+        let c = m.one_round_complex(&input_simplex(&[0u8, 1, 2]));
+        for f in c.facets() {
+            let mut heards: Vec<BTreeSet<ProcessId>> =
+                f.vertices().iter().map(|v| v.heard_set()).collect();
+            heards.sort_by_key(|h| h.len());
+            for w in heards.windows(2) {
+                assert!(w[0].is_subset(&w[1]), "not a chain: {heards:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_inclusion_property() {
+        // every process sees itself
+        let m = IisModel::new();
+        let c = m.one_round_complex(&input_simplex(&[0u8, 1, 2]));
+        for f in c.facets() {
+            for v in f.vertices() {
+                assert!(v.heard_set().contains(&v.process()));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rounds_identity() {
+        let m = IisModel::new();
+        let c = m.protocol_complex(&input_simplex(&[0u8, 1]), 0);
+        assert_eq!(c.facet_count(), 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Full-information local states (views).
+//!
+//! §4 of the paper: "a process's local state is given by the input value
+//! and the sequence of messages received so far", and full-information
+//! protocols send the entire local state in every message. A view is
+//! therefore a tree: the initial input at the leaves, and one layer of
+//! "who I heard, and what their state was" per round.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ps_core::ProcessId;
+use ps_topology::{Label, Simplex};
+
+/// A full-information local state in the asynchronous or synchronous
+/// round structure.
+///
+/// `Input` is the state before round 1; `Round` is the state at the end
+/// of a round: the receiving process plus the map from heard processes to
+/// the states *they* sent (their end-of-previous-round views). A process
+/// always hears itself, so `heard` contains the process's own previous
+/// view.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum View<I> {
+    /// The initial state: a process with its input value.
+    Input {
+        /// The process.
+        process: ProcessId,
+        /// Its input value.
+        input: I,
+    },
+    /// The state at the end of a round.
+    Round {
+        /// The receiving process.
+        process: ProcessId,
+        /// Heard process ↦ the view it sent this round.
+        heard: BTreeMap<ProcessId, View<I>>,
+    },
+}
+
+impl<I: Label> View<I> {
+    /// The process that holds this view.
+    pub fn process(&self) -> ProcessId {
+        match self {
+            View::Input { process, .. } | View::Round { process, .. } => *process,
+        }
+    }
+
+    /// Number of completed rounds (0 for an input view).
+    pub fn round(&self) -> usize {
+        match self {
+            View::Input { .. } => 0,
+            View::Round { heard, .. } => {
+                1 + heard.values().map(|v| v.round()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The set of processes heard in the *last* round (empty for inputs).
+    pub fn heard_set(&self) -> BTreeSet<ProcessId> {
+        match self {
+            View::Input { .. } => BTreeSet::new(),
+            View::Round { heard, .. } => heard.keys().copied().collect(),
+        }
+    }
+
+    /// The view received from `p` in the last round, if any.
+    pub fn heard_from(&self, p: ProcessId) -> Option<&View<I>> {
+        match self {
+            View::Input { .. } => None,
+            View::Round { heard, .. } => heard.get(&p),
+        }
+    }
+
+    /// This process's own input value (follows the self-chain down).
+    pub fn input(&self) -> &I {
+        match self {
+            View::Input { input, .. } => input,
+            View::Round { process, heard } => heard
+                .get(process)
+                .expect("full-information view must contain own previous state")
+                .input(),
+        }
+    }
+
+    /// All input values known to this view (transitively heard).
+    pub fn known_inputs(&self) -> BTreeMap<ProcessId, I> {
+        let mut out = BTreeMap::new();
+        self.collect_inputs(&mut out);
+        out
+    }
+
+    fn collect_inputs(&self, out: &mut BTreeMap<ProcessId, I>) {
+        match self {
+            View::Input { process, input } => {
+                out.insert(*process, input.clone());
+            }
+            View::Round { heard, .. } => {
+                for v in heard.values() {
+                    v.collect_inputs(out);
+                }
+            }
+        }
+    }
+
+    /// All process ids this view has (transitively) heard of, including
+    /// itself.
+    pub fn known_processes(&self) -> BTreeSet<ProcessId> {
+        self.known_inputs().keys().copied().collect()
+    }
+}
+
+impl<I: Label> fmt::Debug for View<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            View::Input { process, input } => write!(f, "{process}:{input:?}"),
+            View::Round { process, heard } => {
+                write!(f, "{process}⟵{{")?;
+                for (i, p) in heard.keys().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// A full-information local state in the semi-synchronous round
+/// structure (§8): like [`View`] but each heard process is annotated with
+/// the *microround* of the last message received from it.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SsView<I> {
+    /// The initial state.
+    Input {
+        /// The process.
+        process: ProcessId,
+        /// Its input value.
+        input: I,
+    },
+    /// The state at the end of a semi-synchronous round.
+    Round {
+        /// The receiving process.
+        process: ProcessId,
+        /// Heard process ↦ (microround of its last message, its state).
+        /// Processes with component `0` in the paper's view vector (no
+        /// message received) are absent from this map.
+        heard: BTreeMap<ProcessId, (u32, SsView<I>)>,
+    },
+}
+
+impl<I: Label> SsView<I> {
+    /// The process that holds this view.
+    pub fn process(&self) -> ProcessId {
+        match self {
+            SsView::Input { process, .. } | SsView::Round { process, .. } => *process,
+        }
+    }
+
+    /// The paper's *view vector* restricted to heard processes:
+    /// `P_j ↦ μ_j` (absent = 0).
+    pub fn view_vector(&self) -> BTreeMap<ProcessId, u32> {
+        match self {
+            SsView::Input { .. } => BTreeMap::new(),
+            SsView::Round { heard, .. } => {
+                heard.iter().map(|(p, (mu, _))| (*p, *mu)).collect()
+            }
+        }
+    }
+
+    /// This process's own input (follows the self-chain).
+    pub fn input(&self) -> &I {
+        match self {
+            SsView::Input { input, .. } => input,
+            SsView::Round { process, heard } => heard
+                .get(process)
+                .expect("semi-sync view must contain own previous state")
+                .1
+                .input(),
+        }
+    }
+
+    /// All input values known to this view.
+    pub fn known_inputs(&self) -> BTreeMap<ProcessId, I> {
+        let mut out = BTreeMap::new();
+        self.collect_inputs(&mut out);
+        out
+    }
+
+    fn collect_inputs(&self, out: &mut BTreeMap<ProcessId, I>) {
+        match self {
+            SsView::Input { process, input } => {
+                out.insert(*process, input.clone());
+            }
+            SsView::Round { heard, .. } => {
+                for (_, v) in heard.values() {
+                    v.collect_inputs(out);
+                }
+            }
+        }
+    }
+}
+
+impl<I: Label> fmt::Debug for SsView<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsView::Input { process, input } => write!(f, "{process}:{input:?}"),
+            SsView::Round { process, heard } => {
+                write!(f, "{process}⟵(")?;
+                for (i, (p, (mu, _))) in heard.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}@{mu}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// An input global state: one `(process, value)` vertex per participant.
+pub type InputSimplex<I> = Simplex<(ProcessId, I)>;
+
+/// Converts an input simplex into the corresponding simplex of
+/// [`View::Input`] vertices.
+pub fn input_views<I: Label>(input: &InputSimplex<I>) -> Simplex<View<I>> {
+    Simplex::new(
+        input
+            .vertices()
+            .iter()
+            .map(|(p, v)| View::Input {
+                process: *p,
+                input: v.clone(),
+            })
+            .collect(),
+    )
+}
+
+/// Converts an input simplex into the corresponding simplex of
+/// [`SsView::Input`] vertices.
+pub fn ss_input_views<I: Label>(input: &InputSimplex<I>) -> Simplex<SsView<I>> {
+    Simplex::new(
+        input
+            .vertices()
+            .iter()
+            .map(|(p, v)| SsView::Input {
+                process: *p,
+                input: v.clone(),
+            })
+            .collect(),
+    )
+}
+
+/// Builds the input simplex assigning `values[i]` to process `i`.
+pub fn input_simplex<I: Label>(values: &[I]) -> InputSimplex<I> {
+    Simplex::new(
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ProcessId(i as u32), v.clone()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inp(p: u32, v: u8) -> View<u8> {
+        View::Input {
+            process: ProcessId(p),
+            input: v,
+        }
+    }
+
+    fn round1(p: u32, heard: &[(u32, u8)]) -> View<u8> {
+        View::Round {
+            process: ProcessId(p),
+            heard: heard
+                .iter()
+                .map(|&(q, v)| (ProcessId(q), inp(q, v)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn input_view_basics() {
+        let v = inp(0, 7);
+        assert_eq!(v.process(), ProcessId(0));
+        assert_eq!(v.round(), 0);
+        assert_eq!(v.input(), &7);
+        assert!(v.heard_set().is_empty());
+        assert_eq!(v.known_inputs().len(), 1);
+    }
+
+    #[test]
+    fn one_round_view() {
+        let v = round1(0, &[(0, 5), (1, 6)]);
+        assert_eq!(v.round(), 1);
+        assert_eq!(v.input(), &5);
+        assert_eq!(v.heard_set().len(), 2);
+        assert!(v.heard_from(ProcessId(1)).is_some());
+        assert!(v.heard_from(ProcessId(2)).is_none());
+        assert_eq!(v.known_inputs()[&ProcessId(1)], 6);
+        assert_eq!(v.known_processes().len(), 2);
+    }
+
+    #[test]
+    fn two_round_view_depth() {
+        let r1a = round1(0, &[(0, 5), (1, 6)]);
+        let r1b = round1(1, &[(0, 5), (1, 6)]);
+        let v = View::Round {
+            process: ProcessId(0),
+            heard: [(ProcessId(0), r1a), (ProcessId(1), r1b)].into_iter().collect(),
+        };
+        assert_eq!(v.round(), 2);
+        assert_eq!(v.input(), &5);
+        assert_eq!(v.known_inputs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "own previous state")]
+    fn malformed_view_panics() {
+        let v = View::Round {
+            process: ProcessId(0),
+            heard: [(ProcessId(1), inp(1, 6))].into_iter().collect(),
+        };
+        let _ = v.input();
+    }
+
+    #[test]
+    fn ss_view_vector() {
+        let v: SsView<u8> = SsView::Round {
+            process: ProcessId(0),
+            heard: [
+                (ProcessId(0), (4u32, SsView::Input { process: ProcessId(0), input: 1 })),
+                (ProcessId(1), (2u32, SsView::Input { process: ProcessId(1), input: 0 })),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        let vec = v.view_vector();
+        assert_eq!(vec[&ProcessId(0)], 4);
+        assert_eq!(vec[&ProcessId(1)], 2);
+        assert_eq!(v.input(), &1);
+        assert_eq!(v.known_inputs().len(), 2);
+    }
+
+    #[test]
+    fn input_simplex_helpers() {
+        let s = input_simplex(&[0u8, 1, 1]);
+        assert_eq!(s.dim(), 2);
+        let views = input_views(&s);
+        assert_eq!(views.len(), 3);
+        let ss = ss_input_views(&s);
+        assert_eq!(ss.len(), 3);
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let v = round1(0, &[(0, 5), (1, 6)]);
+        let d = format!("{v:?}");
+        assert!(d.contains("P0"));
+        assert!(d.contains("⟵"));
+        assert_eq!(format!("{:?}", inp(2, 9)), "P2:9");
+    }
+}

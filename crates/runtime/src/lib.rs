@@ -1,0 +1,53 @@
+//! # ps-runtime: deterministic message-passing simulator
+//!
+//! The executable substrate behind the paper's three timing models: a
+//! lockstep synchronous executor with crash adversaries (§7), a
+//! round-structured asynchronous executor (§6), and a real-time
+//! discrete-event semi-synchronous executor with `c1/c2/d` timing (§8).
+//!
+//! Two roles:
+//!
+//! 1. **Run protocols** (`ps-agreement`'s FloodSet, timeout agreement,
+//!    ...) under benign, scripted, random, and worst-case adversaries.
+//! 2. **Regenerate protocol complexes from executions**: the exhaustive
+//!    enumerators walk every adversary choice of the paper's
+//!    round-structured execution subsets and collect reachable
+//!    full-information views; integration tests check the result is
+//!    isomorphic to the `ps-models` combinatorial constructions
+//!    (Lemmas 11, 14, 19 made executable).
+//!
+//! All executors are deterministic: random adversaries are seeded, event
+//! ties break on (time, kind, sequence).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod protocol;
+pub use protocol::{FullInformation, RoundProtocol};
+
+pub mod trace;
+pub use trace::SyncTrace;
+
+pub mod sync_exec;
+pub use sync_exec::{
+    enumerate_sync_views, NoFailures, RandomAdversary, RoundFailures, ScriptedAdversary,
+    SyncAdversary, SyncExecutor,
+};
+
+pub mod async_exec;
+pub use async_exec::{
+    enumerate_async_views, AsyncAdversary, AsyncExecutor, FullDelivery, HeardSets,
+    RandomAsyncAdversary,
+};
+
+pub mod exhaustive;
+pub use exhaustive::for_each_sync_execution;
+
+pub mod buffered;
+pub use buffered::{BufferedAsyncExecutor, ChannelStats};
+
+pub mod semisync_exec;
+pub use semisync_exec::{
+    Lockstep, RandomTimedAdversary, ScriptedPattern, StretchAdversary, TimedAdversary,
+    TimedEvent, TimedExecutor, TimedParams, TimedProtocol, TimedTrace,
+};

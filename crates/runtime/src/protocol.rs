@@ -1,0 +1,129 @@
+//! Round-based protocol interface and the canonical full-information
+//! protocol.
+//!
+//! §4 of the paper: a protocol is determined by its message function and
+//! decision function, and WLOG is a *full-information* protocol — each
+//! process sends its entire local state every round. [`RoundProtocol`]
+//! is the executable interface; [`FullInformation`] is the canonical
+//! instance whose states are exactly the [`View`] trees of `ps-models`,
+//! which is what lets simulator-reachable states be compared directly
+//! against the combinatorial protocol complexes.
+
+use std::collections::BTreeMap;
+
+use ps_core::ProcessId;
+use ps_models::View;
+use ps_topology::Label;
+
+/// A deterministic round-based protocol (message function + decision
+/// function, §4).
+pub trait RoundProtocol {
+    /// Input value type.
+    type Input: Label;
+    /// Local state type.
+    type State: Label;
+    /// Message payload type.
+    type Msg: Label;
+    /// Decision value type.
+    type Output: Label;
+
+    /// The initial state of `me` with the given input.
+    fn init(&self, me: ProcessId, n_plus_1: usize, input: Self::Input) -> Self::State;
+
+    /// The message a process broadcasts this round (the *message
+    /// function*).
+    fn message(&self, state: &Self::State) -> Self::Msg;
+
+    /// The state transition at the end of a round, given the messages
+    /// delivered this round (keyed by sender; always includes the
+    /// process's own message).
+    fn on_round(
+        &self,
+        state: Self::State,
+        received: &BTreeMap<ProcessId, Self::Msg>,
+        round: usize,
+    ) -> Self::State;
+
+    /// The decision, if the protocol decides in this state after
+    /// `rounds_done` rounds (the *decision function*).
+    fn decide(&self, state: &Self::State, rounds_done: usize) -> Option<Self::Output>;
+}
+
+/// The canonical full-information protocol: state = complete view tree,
+/// message = state, no decision (run for a fixed number of rounds and
+/// inspect the final views).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FullInformation;
+
+impl FullInformation {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        FullInformation
+    }
+}
+
+/// Input type marker for [`FullInformation`] over input values `I`.
+impl RoundProtocol for FullInformation {
+    type Input = u8;
+    type State = View<u8>;
+    type Msg = View<u8>;
+    type Output = u8;
+
+    fn init(&self, me: ProcessId, _n_plus_1: usize, input: u8) -> View<u8> {
+        View::Input { process: me, input }
+    }
+
+    fn message(&self, state: &View<u8>) -> View<u8> {
+        state.clone()
+    }
+
+    fn on_round(
+        &self,
+        state: View<u8>,
+        received: &BTreeMap<ProcessId, View<u8>>,
+        _round: usize,
+    ) -> View<u8> {
+        let mut heard = received.clone();
+        // the process always hears itself
+        heard.entry(state.process()).or_insert_with(|| state.clone());
+        View::Round {
+            process: state.process(),
+            heard,
+        }
+    }
+
+    fn decide(&self, _state: &View<u8>, _rounds_done: usize) -> Option<u8> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_information_state_is_view() {
+        let p = FullInformation::new();
+        let s0 = p.init(ProcessId(0), 2, 7);
+        assert_eq!(s0.round(), 0);
+        assert_eq!(p.message(&s0), s0);
+        let mut rec = BTreeMap::new();
+        rec.insert(ProcessId(0), s0.clone());
+        rec.insert(ProcessId(1), p.init(ProcessId(1), 2, 9));
+        let s1 = p.on_round(s0, &rec, 1);
+        assert_eq!(s1.round(), 1);
+        assert_eq!(s1.input(), &7);
+        assert_eq!(s1.known_inputs().len(), 2);
+        assert_eq!(p.decide(&s1, 1), None);
+    }
+
+    #[test]
+    fn self_message_inserted_when_missing() {
+        let p = FullInformation::new();
+        let s0 = p.init(ProcessId(0), 2, 7);
+        let mut rec = BTreeMap::new();
+        rec.insert(ProcessId(1), p.init(ProcessId(1), 2, 9));
+        let s1 = p.on_round(s0, &rec, 1);
+        assert!(s1.heard_from(ProcessId(0)).is_some());
+    }
+}

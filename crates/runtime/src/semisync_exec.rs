@@ -1,0 +1,736 @@
+//! Real-time semi-synchronous executor (§8, Corollary 22).
+//!
+//! A deterministic discrete-event engine over integer ticks: each process
+//! takes steps separated by adversary-chosen intervals in `[c1, c2]`;
+//! each message is delivered after an adversary-chosen delay of at most
+//! `d` (FIFO per channel, reliable). This is the substrate on which the
+//! paper's round-stretching argument is *measured*: the adversary that
+//! crashes all but one process and runs the survivor at speed `c2`
+//! forces any wait-free k-set agreement protocol to take time
+//! `⌊f/k⌋·d + C·d`, `C = c2/c1`.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use ps_core::ProcessId;
+use ps_topology::Label;
+
+/// Integer-tick timing parameters (`c1 ≤ c2`, message delay ≤ `d`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedParams {
+    /// Minimum step interval.
+    pub c1: u64,
+    /// Maximum step interval.
+    pub c2: u64,
+    /// Maximum message delay.
+    pub d: u64,
+}
+
+impl TimedParams {
+    /// Creates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < c1 ≤ c2` and `d > 0`.
+    pub fn new(c1: u64, c2: u64, d: u64) -> Self {
+        assert!(c1 > 0 && c2 >= c1 && d > 0, "invalid timing parameters");
+        TimedParams { c1, c2, d }
+    }
+
+    /// Microrounds per round: `p = ⌈d/c1⌉`.
+    pub fn microrounds(&self) -> u64 {
+        self.d.div_ceil(self.c1)
+    }
+
+    /// The uncertainty ratio `C = c2/c1`.
+    pub fn big_c(&self) -> f64 {
+        self.c2 as f64 / self.c1 as f64
+    }
+
+    /// Corollary 22's lower bound in ticks: `⌊f/k⌋·d + C·d`.
+    pub fn corollary22_bound(&self, f: usize, k: usize) -> f64 {
+        (f / k) as f64 * self.d as f64 + self.big_c() * self.d as f64
+    }
+}
+
+/// A timed protocol: stepped by the scheduler, sees delivered messages.
+pub trait TimedProtocol {
+    /// Input value type.
+    type Input: Label;
+    /// Local state type.
+    type State: Label;
+    /// Message payload type.
+    type Msg: Label;
+    /// Decision value type.
+    type Output: Label;
+
+    /// Initial state.
+    fn init(&self, me: ProcessId, n_plus_1: usize, input: Self::Input, params: &TimedParams)
+        -> Self::State;
+
+    /// One step at time `now` (the `step`-th step, 0-based), with the
+    /// messages delivered since the previous step. Returns the new state,
+    /// an optional broadcast, and an optional decision.
+    #[allow(clippy::type_complexity)]
+    fn on_step(
+        &self,
+        state: Self::State,
+        now: u64,
+        step: u64,
+        inbox: &[(ProcessId, Self::Msg)],
+    ) -> (Self::State, Option<Self::Msg>, Option<Self::Output>);
+}
+
+/// A timing adversary: chooses step intervals, message delays, crashes.
+pub trait TimedAdversary {
+    /// Interval before the given process's `step`-th step; must lie in
+    /// `[c1, c2]`.
+    fn step_interval(&mut self, p: ProcessId, step: u64, params: &TimedParams) -> u64;
+
+    /// Delay for a message sent at `send_time`; must lie in `[0, d]`
+    /// (FIFO order is enforced by the engine).
+    fn message_delay(
+        &mut self,
+        src: ProcessId,
+        dst: ProcessId,
+        send_time: u64,
+        params: &TimedParams,
+    ) -> u64;
+
+    /// The time at which `p` crashes (stops stepping), if ever.
+    fn crash_time(&self, p: ProcessId) -> Option<u64> {
+        let _ = p;
+        None
+    }
+
+    /// Whether a broadcast message from `src` sent at `send_time` reaches
+    /// `dst` at all. Default `true` (reliable delivery). Returning
+    /// `false` models a sender crashing *mid-broadcast* (§8's failure
+    /// patterns) and is only meaningful for the sender's final send —
+    /// dropping messages of processes that keep running violates the
+    /// model's reliable-delivery assumption.
+    fn message_delivered(&mut self, src: ProcessId, dst: ProcessId, send_time: u64) -> bool {
+        let _ = (src, dst, send_time);
+        true
+    }
+}
+
+/// A scripted §8 adversary realizing one failure set `K` and pattern `F`:
+/// each process in `K` takes its last step at the `F(P)`-th microround
+/// (1-based, everyone stepping at `c1`), and its final-step broadcast
+/// reaches exactly the per-receiver subset in `last_delivered`. Messages
+/// take the full `d`. Built with [`ScriptedPattern::new`].
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedPattern {
+    crash_times: BTreeMap<ProcessId, u64>,
+    final_send_times: BTreeMap<ProcessId, u64>,
+    last_delivered: std::collections::BTreeSet<(ProcessId, ProcessId)>,
+}
+
+impl ScriptedPattern {
+    /// Creates the adversary: `fail_at_step` maps each crashing process
+    /// to the 1-based microround of its final step; `last_delivered`
+    /// lists the `(crashing sender, receiver)` pairs whose final message
+    /// is delivered.
+    pub fn new(
+        fail_at_step: BTreeMap<ProcessId, u64>,
+        last_delivered: std::collections::BTreeSet<(ProcessId, ProcessId)>,
+        params: &TimedParams,
+    ) -> Self {
+        ScriptedPattern {
+            crash_times: fail_at_step
+                .iter()
+                .map(|(p, s)| (*p, s * params.c1 + 1))
+                .collect(),
+            final_send_times: fail_at_step
+                .iter()
+                .map(|(p, s)| (*p, s * params.c1))
+                .collect(),
+            last_delivered,
+        }
+    }
+}
+
+impl TimedAdversary for ScriptedPattern {
+    fn step_interval(&mut self, _: ProcessId, _: u64, params: &TimedParams) -> u64 {
+        params.c1
+    }
+    fn message_delay(
+        &mut self,
+        _: ProcessId,
+        _: ProcessId,
+        send_time: u64,
+        params: &TimedParams,
+    ) -> u64 {
+        // §8 idealization: all round messages are delivered at the very
+        // end of the round (time d). This adversary scripts one round.
+        params.d.saturating_sub(send_time)
+    }
+    fn crash_time(&self, p: ProcessId) -> Option<u64> {
+        self.crash_times.get(&p).copied()
+    }
+    fn message_delivered(&mut self, src: ProcessId, dst: ProcessId, send_time: u64) -> bool {
+        match self.final_send_times.get(&src) {
+            Some(&t) if send_time >= t => self.last_delivered.contains(&(src, dst)),
+            _ => true,
+        }
+    }
+}
+
+/// Everyone steps at `c1`; every message takes the full `d`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lockstep;
+
+impl TimedAdversary for Lockstep {
+    fn step_interval(&mut self, _: ProcessId, _: u64, params: &TimedParams) -> u64 {
+        params.c1
+    }
+    fn message_delay(&mut self, _: ProcessId, _: ProcessId, _: u64, params: &TimedParams) -> u64 {
+        params.d
+    }
+}
+
+/// The Corollary 22 adversary: every process except `survivor` crashes at
+/// `crash_at`; the survivor thereafter steps at `c2`; messages take `d`.
+#[derive(Clone, Copy, Debug)]
+pub struct StretchAdversary {
+    /// The process kept alive.
+    pub survivor: ProcessId,
+    /// When everyone else crashes.
+    pub crash_at: u64,
+}
+
+impl TimedAdversary for StretchAdversary {
+    fn step_interval(&mut self, p: ProcessId, _step: u64, params: &TimedParams) -> u64 {
+        if p == self.survivor {
+            params.c2
+        } else {
+            params.c1
+        }
+    }
+    fn message_delay(&mut self, _: ProcessId, _: ProcessId, _: u64, params: &TimedParams) -> u64 {
+        params.d
+    }
+    fn crash_time(&self, p: ProcessId) -> Option<u64> {
+        (p != self.survivor).then_some(self.crash_at)
+    }
+}
+
+/// A seeded random timing adversary: step intervals uniform in
+/// `[c1, c2]`, message delays uniform in `[0, d]`, optional i.i.d.
+/// crash schedule fixed at construction.
+#[derive(Debug)]
+pub struct RandomTimedAdversary {
+    rng: std::cell::RefCell<rand::rngs::StdRng>,
+    crash_times: BTreeMap<ProcessId, u64>,
+}
+
+impl RandomTimedAdversary {
+    /// Creates the adversary; `crashes` maps processes to crash times
+    /// (fixed up front so [`TimedAdversary::crash_time`] is stable).
+    pub fn new(seed: u64, crashes: BTreeMap<ProcessId, u64>) -> Self {
+        use rand::SeedableRng;
+        RandomTimedAdversary {
+            rng: std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(seed)),
+            crash_times: crashes,
+        }
+    }
+}
+
+impl TimedAdversary for RandomTimedAdversary {
+    fn step_interval(&mut self, _: ProcessId, _: u64, params: &TimedParams) -> u64 {
+        use rand::Rng;
+        self.rng.borrow_mut().gen_range(params.c1..=params.c2)
+    }
+    fn message_delay(&mut self, _: ProcessId, _: ProcessId, _: u64, params: &TimedParams) -> u64 {
+        use rand::Rng;
+        self.rng.borrow_mut().gen_range(0..=params.d)
+    }
+    fn crash_time(&self, p: ProcessId) -> Option<u64> {
+        self.crash_times.get(&p).copied()
+    }
+}
+
+/// One logged event of a timed execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimedEvent {
+    /// A process took a step.
+    Step(u64, ProcessId),
+    /// A message was delivered (time, src, dst).
+    Deliver(u64, ProcessId, ProcessId),
+    /// A process decided.
+    Decide(u64, ProcessId),
+    /// A process was found crashed.
+    Crash(u64, ProcessId),
+}
+
+impl TimedEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> u64 {
+        match self {
+            TimedEvent::Step(t, _)
+            | TimedEvent::Decide(t, _)
+            | TimedEvent::Crash(t, _)
+            | TimedEvent::Deliver(t, _, _) => *t,
+        }
+    }
+}
+
+/// The record of a timed execution.
+#[derive(Clone, Debug)]
+pub struct TimedTrace<O> {
+    decisions: BTreeMap<ProcessId, (u64, O)>,
+    crashes: BTreeMap<ProcessId, u64>,
+    steps_taken: BTreeMap<ProcessId, u64>,
+    messages_delivered: u64,
+    end_time: u64,
+    events: Vec<TimedEvent>,
+}
+
+impl<O: Label> TimedTrace<O> {
+    /// The decision of `p` and its time.
+    pub fn decision(&self, p: ProcessId) -> Option<&(u64, O)> {
+        self.decisions.get(&p)
+    }
+
+    /// All decisions.
+    pub fn decisions(&self) -> &BTreeMap<ProcessId, (u64, O)> {
+        &self.decisions
+    }
+
+    /// The latest decision time among deciders, if any decided.
+    pub fn last_decision_time(&self) -> Option<u64> {
+        self.decisions.values().map(|(t, _)| *t).max()
+    }
+
+    /// Crash times.
+    pub fn crashes(&self) -> &BTreeMap<ProcessId, u64> {
+        &self.crashes
+    }
+
+    /// Steps each process took.
+    pub fn steps_taken(&self) -> &BTreeMap<ProcessId, u64> {
+        &self.steps_taken
+    }
+
+    /// Total messages delivered.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Time of the last processed event.
+    pub fn end_time(&self) -> u64 {
+        self.end_time
+    }
+
+    /// Distinct decision values.
+    pub fn decision_values(&self) -> std::collections::BTreeSet<O> {
+        self.decisions.values().map(|(_, o)| o.clone()).collect()
+    }
+
+    /// The chronological event log (steps, deliveries, decisions,
+    /// crashes).
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// An ASCII timeline: one row per process, one column per
+    /// `ticks_per_col` ticks. Markers: `.` step, `D` decision, `x`
+    /// crash, `*` step+delivery in the same cell.
+    pub fn timeline(&self, n_plus_1: usize, ticks_per_col: u64) -> String {
+        let ticks_per_col = ticks_per_col.max(1);
+        let width = (self.end_time / ticks_per_col + 2) as usize;
+        let mut rows = vec![vec![' '; width]; n_plus_1];
+        let mut mark = |p: ProcessId, t: u64, c: char| {
+            let col = (t / ticks_per_col) as usize;
+            if let Some(row) = rows.get_mut(p.index()) {
+                if col < row.len() {
+                    let cell = &mut row[col];
+                    *cell = match (*cell, c) {
+                        (' ', c) => c,
+                        ('.', '@') | ('@', '.') => '*',
+                        (old, new) if new == 'D' || new == 'x' => {
+                            let _ = old;
+                            new
+                        }
+                        (old, _) => old,
+                    };
+                }
+            }
+        };
+        for ev in &self.events {
+            match *ev {
+                TimedEvent::Step(t, p) => mark(p, t, '.'),
+                TimedEvent::Deliver(t, _, dst) => mark(dst, t, '@'),
+                TimedEvent::Decide(t, p) => mark(p, t, 'D'),
+                TimedEvent::Crash(t, p) => mark(p, t, 'x'),
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!("P{i:<2} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "    +{} ({} ticks/col, end t={})\n",
+            "-".repeat(width),
+            ticks_per_col,
+            self.end_time
+        ));
+        out
+    }
+}
+
+/// Time-ordered event queue: (time, kind, sequence) min-heap.
+type EventHeap<M> = BinaryHeap<Reverse<(u64, EventKind<M>, u64)>>;
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum EventKind<M> {
+    // Deliveries sort before steps at equal times so a step sees all
+    // messages that arrived "by" its step time.
+    Deliver { dst: ProcessId, src: ProcessId, msg: M },
+    Step { p: ProcessId },
+}
+
+/// The timed discrete-event executor.
+#[derive(Clone, Debug)]
+pub struct TimedExecutor<P> {
+    protocol: P,
+    n_plus_1: usize,
+    params: TimedParams,
+}
+
+impl<P: TimedProtocol> TimedExecutor<P> {
+    /// Creates the executor.
+    pub fn new(protocol: P, n_plus_1: usize, params: TimedParams) -> Self {
+        TimedExecutor {
+            protocol,
+            n_plus_1,
+            params,
+        }
+    }
+
+    /// The timing parameters.
+    pub fn params(&self) -> &TimedParams {
+        &self.params
+    }
+
+    /// Runs until every alive process decides or `max_time` passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n_plus_1` or the adversary returns an
+    /// out-of-range interval/delay.
+    pub fn run(
+        &self,
+        inputs: &[P::Input],
+        adversary: &mut dyn TimedAdversary,
+        max_time: u64,
+    ) -> TimedTrace<P::Output> {
+        assert_eq!(inputs.len(), self.n_plus_1, "one input per process");
+        let procs: Vec<ProcessId> = (0..self.n_plus_1 as u32).map(ProcessId).collect();
+        let mut states: BTreeMap<ProcessId, P::State> = procs
+            .iter()
+            .map(|p| {
+                (
+                    *p,
+                    self.protocol
+                        .init(*p, self.n_plus_1, inputs[p.index()].clone(), &self.params),
+                )
+            })
+            .collect();
+        let mut inboxes: BTreeMap<ProcessId, Vec<(ProcessId, P::Msg)>> =
+            procs.iter().map(|p| (*p, Vec::new())).collect();
+        let mut steps: BTreeMap<ProcessId, u64> = procs.iter().map(|p| (*p, 0)).collect();
+        let mut last_delivery: BTreeMap<(ProcessId, ProcessId), u64> = BTreeMap::new();
+        let mut decisions: BTreeMap<ProcessId, (u64, P::Output)> = BTreeMap::new();
+        let mut crashes: BTreeMap<ProcessId, u64> = BTreeMap::new();
+        let mut delivered_count = 0u64;
+        let mut events: Vec<TimedEvent> = Vec::new();
+
+        let mut heap: EventHeap<P::Msg> = BinaryHeap::new();
+        let mut seq = 0u64;
+
+        // first steps
+        for p in &procs {
+            let dt = adversary.step_interval(*p, 0, &self.params);
+            assert!(
+                (self.params.c1..=self.params.c2).contains(&dt),
+                "step interval out of range"
+            );
+            heap.push(Reverse((dt, EventKind::Step { p: *p }, seq)));
+            seq += 1;
+        }
+
+        let mut end_time = 0;
+        while let Some(Reverse((now, kind, _))) = heap.pop() {
+            if now > max_time {
+                end_time = max_time;
+                break;
+            }
+            end_time = now;
+            match kind {
+                EventKind::Deliver { dst, src, msg } => {
+                    delivered_count += 1;
+                    if let Some(crash) = crashes.get(&dst) {
+                        if now >= *crash {
+                            continue; // crashed receivers drop messages
+                        }
+                    }
+                    events.push(TimedEvent::Deliver(now, src, dst));
+                    inboxes.get_mut(&dst).unwrap().push((src, msg));
+                }
+                EventKind::Step { p } => {
+                    if let Some(crash_at) = adversary.crash_time(p) {
+                        if now >= crash_at {
+                            if let std::collections::btree_map::Entry::Vacant(e) =
+                                crashes.entry(p)
+                            {
+                                e.insert(crash_at);
+                                events.push(TimedEvent::Crash(crash_at, p));
+                            }
+                            continue; // process stopped
+                        }
+                    }
+                    if decisions.contains_key(&p) {
+                        continue; // decided processes halt (§4)
+                    }
+                    events.push(TimedEvent::Step(now, p));
+                    let inbox = std::mem::take(inboxes.get_mut(&p).unwrap());
+                    let step = steps[&p];
+                    let st = states.remove(&p).unwrap();
+                    let (st, broadcast, decision) =
+                        self.protocol.on_step(st, now, step, &inbox);
+                    states.insert(p, st);
+                    *steps.get_mut(&p).unwrap() += 1;
+                    if let Some(msg) = broadcast {
+                        for q in procs.iter().filter(|q| **q != p) {
+                            if !adversary.message_delivered(p, *q, now) {
+                                continue; // crash-cut broadcast (see trait docs)
+                            }
+                            let delay = adversary.message_delay(p, *q, now, &self.params);
+                            assert!(delay <= self.params.d, "message delay exceeds d");
+                            let channel = (p, *q);
+                            let at = (now + delay).max(
+                                last_delivery.get(&channel).copied().unwrap_or(0),
+                            );
+                            last_delivery.insert(channel, at);
+                            heap.push(Reverse((
+                                at,
+                                EventKind::Deliver {
+                                    dst: *q,
+                                    src: p,
+                                    msg: msg.clone(),
+                                },
+                                seq,
+                            )));
+                            seq += 1;
+                        }
+                    }
+                    if let Some(out) = decision {
+                        decisions.insert(p, (now, out));
+                        events.push(TimedEvent::Decide(now, p));
+                    } else {
+                        let dt = adversary.step_interval(p, step + 1, &self.params);
+                        assert!(
+                            (self.params.c1..=self.params.c2).contains(&dt),
+                            "step interval out of range"
+                        );
+                        heap.push(Reverse((now + dt, EventKind::Step { p }, seq)));
+                        seq += 1;
+                    }
+                }
+            }
+            // stop early if everyone alive has decided
+            let alive_undecided = procs.iter().any(|p| {
+                !decisions.contains_key(p) && adversary.crash_time(*p).is_none_or(|t| t > now)
+            });
+            if !alive_undecided {
+                break;
+            }
+        }
+
+        TimedTrace {
+            decisions,
+            crashes,
+            steps_taken: steps,
+            messages_delivered: delivered_count,
+            end_time,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test protocol: broadcast input on the first step; decide own input
+    /// after `wait_steps` steps.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct CountSteps {
+        wait_steps: u64,
+    }
+
+    impl TimedProtocol for CountSteps {
+        type Input = u8;
+        type State = (u8, u64);
+        type Msg = u8;
+        type Output = u8;
+
+        fn init(&self, _me: ProcessId, _n: usize, input: u8, _p: &TimedParams) -> (u8, u64) {
+            (input, 0)
+        }
+
+        fn on_step(
+            &self,
+            state: (u8, u64),
+            _now: u64,
+            step: u64,
+            _inbox: &[(ProcessId, u8)],
+        ) -> ((u8, u64), Option<u8>, Option<u8>) {
+            let (input, _) = state;
+            let broadcast = (step == 0).then_some(input);
+            let decide = (step + 1 >= self.wait_steps).then_some(input);
+            ((input, step + 1), broadcast, decide)
+        }
+    }
+
+    #[test]
+    fn params_derivations() {
+        let p = TimedParams::new(1, 4, 2);
+        assert_eq!(p.microrounds(), 2);
+        assert_eq!(p.big_c(), 4.0);
+        assert_eq!(p.corollary22_bound(2, 1), 2.0 * 2.0 + 4.0 * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid timing")]
+    fn params_validation() {
+        let _ = TimedParams::new(4, 1, 2);
+    }
+
+    #[test]
+    fn lockstep_decision_times() {
+        let params = TimedParams::new(1, 2, 3);
+        let exec = TimedExecutor::new(CountSteps { wait_steps: 5 }, 3, params);
+        let trace = exec.run(&[0, 1, 2], &mut Lockstep, 100);
+        // 5 steps at c1 = 1 tick each: decision at time 5
+        for p in 0..3u32 {
+            assert_eq!(trace.decision(ProcessId(p)).unwrap().0, 5);
+        }
+        assert_eq!(trace.last_decision_time(), Some(5));
+        assert_eq!(trace.decision_values().len(), 3);
+    }
+
+    #[test]
+    fn stretch_slows_survivor() {
+        let params = TimedParams::new(1, 4, 3);
+        let exec = TimedExecutor::new(CountSteps { wait_steps: 5 }, 3, params);
+        let mut adv = StretchAdversary {
+            survivor: ProcessId(0),
+            crash_at: 0,
+        };
+        let trace = exec.run(&[0, 1, 2], &mut adv, 100);
+        // survivor steps every c2 = 4: decides at 20
+        assert_eq!(trace.decision(ProcessId(0)).unwrap().0, 20);
+        assert!(trace.decision(ProcessId(1)).is_none());
+        assert_eq!(trace.crashes().len(), 2);
+    }
+
+    #[test]
+    fn messages_are_delivered_with_delay_d() {
+        let params = TimedParams::new(1, 1, 7);
+
+        /// decide on the first received value (or own at step 50)
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        struct FirstHeard;
+        impl TimedProtocol for FirstHeard {
+            type Input = u8;
+            type State = u8;
+            type Msg = u8;
+            type Output = u8;
+            fn init(&self, _: ProcessId, _: usize, input: u8, _: &TimedParams) -> u8 {
+                input
+            }
+            fn on_step(
+                &self,
+                state: u8,
+                _now: u64,
+                step: u64,
+                inbox: &[(ProcessId, u8)],
+            ) -> (u8, Option<u8>, Option<u8>) {
+                let broadcast = (step == 0).then_some(state);
+                let decide = inbox.first().map(|(_, v)| *v).or((step >= 50).then_some(state));
+                (state, broadcast, decide)
+            }
+        }
+
+        let exec = TimedExecutor::new(FirstHeard, 2, params);
+        let trace = exec.run(&[7, 9], &mut Lockstep, 1000);
+        // broadcasts at time 1 (first step), delivered at 1 + 7 = 8; the
+        // step at time 8 sees them (deliveries sort before steps).
+        assert_eq!(trace.decision(ProcessId(0)).unwrap(), &(8, 9));
+        assert_eq!(trace.decision(ProcessId(1)).unwrap(), &(8, 7));
+        assert!(trace.messages_delivered() >= 2);
+        assert!(trace.end_time() >= 8);
+    }
+
+    #[test]
+    fn events_are_chronological_and_complete() {
+        let params = TimedParams::new(1, 2, 3);
+        let exec = TimedExecutor::new(CountSteps { wait_steps: 3 }, 2, params);
+        let trace = exec.run(&[0, 1], &mut Lockstep, 100);
+        let events = trace.events();
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].time() <= w[1].time());
+        }
+        let decides = events
+            .iter()
+            .filter(|e| matches!(e, TimedEvent::Decide(_, _)))
+            .count();
+        assert_eq!(decides, 2);
+        let steps = events
+            .iter()
+            .filter(|e| matches!(e, TimedEvent::Step(_, _)))
+            .count();
+        assert_eq!(steps as u64, trace.steps_taken().values().sum::<u64>());
+    }
+
+    #[test]
+    fn timeline_renders_rows_and_markers() {
+        let params = TimedParams::new(1, 4, 3);
+        let exec = TimedExecutor::new(CountSteps { wait_steps: 4 }, 3, params);
+        let mut adv = StretchAdversary {
+            survivor: ProcessId(0),
+            crash_at: 2,
+        };
+        let trace = exec.run(&[0, 1, 2], &mut adv, 100);
+        let tl = trace.timeline(3, 1);
+        assert_eq!(tl.lines().count(), 4); // 3 process rows + axis
+        assert!(tl.contains('D'), "{tl}");
+        assert!(tl.contains('x'), "{tl}");
+        assert!(tl.contains('.'), "{tl}");
+        assert!(tl.contains("ticks/col"));
+    }
+
+    #[test]
+    fn max_time_cutoff() {
+        let params = TimedParams::new(1, 1, 1);
+        let exec = TimedExecutor::new(CountSteps { wait_steps: 1000 }, 2, params);
+        let trace = exec.run(&[0, 1], &mut Lockstep, 10);
+        assert!(trace.decisions().is_empty());
+        assert_eq!(trace.end_time(), 10);
+    }
+
+    #[test]
+    fn steps_counted() {
+        let params = TimedParams::new(2, 2, 2);
+        let exec = TimedExecutor::new(CountSteps { wait_steps: 3 }, 1, params);
+        let trace = exec.run(&[5], &mut Lockstep, 100);
+        assert_eq!(trace.steps_taken()[&ProcessId(0)], 3);
+        assert_eq!(trace.decision(ProcessId(0)).unwrap().0, 6);
+    }
+}

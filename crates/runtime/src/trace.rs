@@ -1,0 +1,140 @@
+//! Execution traces and task-property checks over them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ps_core::ProcessId;
+use ps_topology::Label;
+
+/// The record of one synchronous (or round-structured) execution.
+#[derive(Clone, Debug)]
+pub struct SyncTrace<S, O> {
+    decisions: BTreeMap<ProcessId, (usize, O)>,
+    crashes: BTreeMap<ProcessId, usize>,
+    history: Vec<BTreeMap<ProcessId, S>>,
+    final_states: BTreeMap<ProcessId, S>,
+}
+
+impl<S: Label, O: Label> SyncTrace<S, O> {
+    pub(crate) fn new() -> Self {
+        SyncTrace {
+            decisions: BTreeMap::new(),
+            crashes: BTreeMap::new(),
+            history: Vec::new(),
+            final_states: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn record_crash(&mut self, p: ProcessId, round: usize) {
+        self.crashes.insert(p, round);
+    }
+
+    pub(crate) fn record_round(&mut self, states: BTreeMap<ProcessId, S>) {
+        self.history.push(states);
+    }
+
+    pub(crate) fn record_decision(&mut self, p: ProcessId, round: usize, out: O) {
+        self.decisions.insert(p, (round, out));
+    }
+
+    pub(crate) fn finish(&mut self, states: BTreeMap<ProcessId, S>) {
+        self.final_states = states;
+    }
+
+    /// The decision of `p`, if it decided.
+    pub fn decision(&self, p: ProcessId) -> Option<&O> {
+        self.decisions.get(&p).map(|(_, o)| o)
+    }
+
+    /// The round in which `p` decided.
+    pub fn decision_round(&self, p: ProcessId) -> Option<usize> {
+        self.decisions.get(&p).map(|(r, _)| *r)
+    }
+
+    /// All decisions: process ↦ (round, value).
+    pub fn decisions(&self) -> &BTreeMap<ProcessId, (usize, O)> {
+        &self.decisions
+    }
+
+    /// Crashed processes and their crash rounds.
+    pub fn crashes(&self) -> &BTreeMap<ProcessId, usize> {
+        &self.crashes
+    }
+
+    /// Number of rounds executed.
+    pub fn rounds_executed(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The per-round state history (round 1 at index 0); crashed
+    /// processes are absent from the round in which they crash onward.
+    pub fn history(&self) -> &[BTreeMap<ProcessId, S>] {
+        &self.history
+    }
+
+    /// The final state of `p` (absent if crashed).
+    pub fn final_state(&self, p: ProcessId) -> Option<&S> {
+        self.final_states.get(&p)
+    }
+
+    /// The set of distinct decision values.
+    pub fn decision_values(&self) -> BTreeSet<O> {
+        self.decisions.values().map(|(_, o)| o.clone()).collect()
+    }
+
+    /// *k-agreement*: at most `k` distinct decision values.
+    pub fn satisfies_k_agreement(&self, k: usize) -> bool {
+        self.decision_values().len() <= k
+    }
+
+    /// *Validity*: every decision is among `inputs`.
+    pub fn satisfies_validity(&self, inputs: &BTreeSet<O>) -> bool {
+        self.decision_values().is_subset(inputs)
+    }
+
+    /// *Termination*: every process that never crashed decided.
+    pub fn satisfies_termination(&self, n_plus_1: usize) -> bool {
+        (0..n_plus_1 as u32)
+            .map(ProcessId)
+            .filter(|p| !self.crashes.contains_key(p))
+            .all(|p| self.decisions.contains_key(&p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SyncTrace<u8, u8> {
+        let mut t: SyncTrace<u8, u8> = SyncTrace::new();
+        t.record_crash(ProcessId(2), 1);
+        t.record_round([(ProcessId(0), 1u8), (ProcessId(1), 2u8)].into_iter().collect());
+        t.record_decision(ProcessId(0), 1, 5);
+        t.record_decision(ProcessId(1), 1, 5);
+        t.finish([(ProcessId(0), 1u8), (ProcessId(1), 2u8)].into_iter().collect());
+        t
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.decision(ProcessId(0)), Some(&5));
+        assert_eq!(t.decision_round(ProcessId(1)), Some(1));
+        assert_eq!(t.decision(ProcessId(2)), None);
+        assert_eq!(t.rounds_executed(), 1);
+        assert_eq!(t.final_state(ProcessId(1)), Some(&2));
+        assert_eq!(t.crashes()[&ProcessId(2)], 1);
+        assert_eq!(t.decisions().len(), 2);
+        assert_eq!(t.history().len(), 1);
+    }
+
+    #[test]
+    fn task_properties() {
+        let t = sample();
+        assert!(t.satisfies_k_agreement(1));
+        assert!(t.satisfies_k_agreement(2));
+        assert!(t.satisfies_validity(&[5u8, 7].into_iter().collect()));
+        assert!(!t.satisfies_validity(&[7u8].into_iter().collect()));
+        assert!(t.satisfies_termination(3)); // P2 crashed, P0/P1 decided
+        assert!(!t.satisfies_termination(4)); // P3 never decided
+    }
+}

@@ -1,0 +1,201 @@
+//! Carrier maps: set-valued simplicial maps.
+//!
+//! The paper's protocol operator `P(·)` — carrying each input simplex to
+//! the subcomplex of reachable final states — is a *carrier map*: a
+//! monotone map from simplexes of a domain complex to subcomplexes of a
+//! codomain complex. Carrier maps compose (running one protocol after
+//! another), and the paper's inductive constructions (`A^r`, `S^r`,
+//! `M^r`) are exactly r-fold compositions of one-round carrier maps.
+
+use std::collections::BTreeMap;
+
+use crate::{Complex, Label, Simplex};
+
+/// A carrier map `Φ : K → 2^L`, stored on the simplexes of a finite
+/// domain complex.
+///
+/// Invariants checked by [`CarrierMap::is_monotone`] /
+/// [`CarrierMap::is_strict`]:
+/// * *monotone*: `σ ⊆ τ ⇒ Φ(σ) ⊆ Φ(τ)`;
+/// * *strict*: `Φ(σ ∩ τ) = Φ(σ) ∩ Φ(τ)`.
+#[derive(Clone)]
+pub struct CarrierMap<V, W> {
+    images: BTreeMap<Simplex<V>, Complex<W>>,
+}
+
+impl<V: Label, W: Label> std::fmt::Debug for CarrierMap<V, W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CarrierMap")
+            .field("domain_simplexes", &self.images.len())
+            .finish()
+    }
+}
+
+impl<V: Label, W: Label> CarrierMap<V, W> {
+    /// Builds a carrier map over every simplex of `domain` by evaluating
+    /// `f` (including on lower-dimensional faces).
+    pub fn from_fn(domain: &Complex<V>, mut f: impl FnMut(&Simplex<V>) -> Complex<W>) -> Self {
+        let mut images = BTreeMap::new();
+        for layer in domain.all_simplices() {
+            for s in layer {
+                let img = f(&s);
+                images.insert(s, img);
+            }
+        }
+        CarrierMap { images }
+    }
+
+    /// The image of a simplex (void if outside the domain).
+    pub fn image(&self, s: &Simplex<V>) -> Complex<W> {
+        self.images.get(s).cloned().unwrap_or_default()
+    }
+
+    /// Number of domain simplexes.
+    pub fn domain_size(&self) -> usize {
+        self.images.len()
+    }
+
+    /// The image of the whole domain: `Φ(K) = ∪_σ Φ(σ)`.
+    pub fn total_image(&self) -> Complex<W> {
+        let mut out = Complex::new();
+        for img in self.images.values() {
+            out = out.union(img);
+        }
+        out
+    }
+
+    /// `true` iff `σ ⊆ τ ⇒ Φ(σ) ⊆ Φ(τ)` for all stored simplexes.
+    pub fn is_monotone(&self) -> bool {
+        self.images.iter().all(|(s, img_s)| {
+            self.images.iter().all(|(t, img_t)| {
+                !s.is_proper_face_of(t) || img_s.facets().all(|f| img_t.contains(f))
+            })
+        })
+    }
+
+    /// `true` iff `Φ(σ ∩ τ) = Φ(σ) ∩ Φ(τ)` for all stored pairs whose
+    /// intersection is also stored (strict carrier maps are what make
+    /// Mayer–Vietoris arguments compose).
+    pub fn is_strict(&self) -> bool {
+        let keys: Vec<&Simplex<V>> = self.images.keys().collect();
+        for (i, s) in keys.iter().enumerate() {
+            for t in &keys[i + 1..] {
+                let meet = s.intersection(t);
+                if meet.is_empty() {
+                    continue;
+                }
+                let Some(img_meet) = self.images.get(&meet) else {
+                    continue;
+                };
+                let inter = self.images[*s].intersection(&self.images[*t]);
+                if img_meet != &inter {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Composition `(Ψ ∘ Φ)(σ) = ∪ { Ψ(τ) : τ ∈ Φ(σ) }`.
+    pub fn compose<X: Label>(&self, next: &CarrierMap<W, X>) -> CarrierMap<V, X> {
+        let images = self
+            .images
+            .iter()
+            .map(|(s, img)| {
+                let mut out = Complex::new();
+                for layer in img.all_simplices() {
+                    for tau in layer {
+                        out = out.union(&next.image(&tau));
+                    }
+                }
+                (s.clone(), out)
+            })
+            .collect();
+        CarrierMap { images }
+    }
+
+    /// The identity carrier map on a complex: `σ ↦ closure(σ)`.
+    pub fn identity(domain: &Complex<V>) -> CarrierMap<V, V> {
+        CarrierMap::from_fn(domain, |s| Complex::simplex(s.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vs: &[u32]) -> Simplex<u32> {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    fn triangle() -> Complex<u32> {
+        Complex::simplex(s(&[0, 1, 2]))
+    }
+
+    #[test]
+    fn identity_is_monotone_and_strict() {
+        let id = CarrierMap::<u32, u32>::identity(&triangle());
+        assert!(id.is_monotone());
+        assert!(id.is_strict());
+        assert_eq!(id.total_image(), triangle());
+        assert_eq!(id.domain_size(), 7);
+    }
+
+    #[test]
+    fn constant_map_is_monotone_not_strict_on_disjoint() {
+        // mapping every simplex to a fixed edge: monotone, and strict on
+        // this domain since all intersections are nonempty faces.
+        let target = Complex::simplex(s(&[10, 11]));
+        let m = CarrierMap::from_fn(&triangle(), |_| target.clone());
+        assert!(m.is_monotone());
+        assert!(m.is_strict());
+        assert_eq!(m.total_image(), target);
+    }
+
+    #[test]
+    fn non_monotone_detected() {
+        // vertex gets a big image, edges get small ones
+        let m = CarrierMap::from_fn(&triangle(), |simp| {
+            if simp.dim() == 0 {
+                Complex::simplex(s(&[10, 11, 12]))
+            } else {
+                Complex::simplex(s(&[10]))
+            }
+        });
+        assert!(!m.is_monotone());
+    }
+
+    #[test]
+    fn non_strict_detected() {
+        // edges map to overlapping complexes strictly bigger than the
+        // shared vertex's image
+        let m = CarrierMap::from_fn(&triangle(), |simp| match simp.dim() {
+            0 => Complex::simplex(Simplex::vertex(10)),
+            _ => Complex::simplex(s(&[10, 11])),
+        });
+        assert!(m.is_monotone());
+        assert!(!m.is_strict());
+    }
+
+    #[test]
+    fn composition_matches_manual_union() {
+        let phi = CarrierMap::from_fn(&triangle(), |simp| {
+            Complex::simplex(simp.map(|v| v + 10))
+        });
+        let inner = phi.total_image();
+        let psi = CarrierMap::from_fn(&inner, |simp| {
+            Complex::simplex(simp.map(|v| v + 100))
+        });
+        let comp = phi.compose(&psi);
+        assert!(comp.is_monotone());
+        let img = comp.image(&s(&[0, 1, 2]));
+        assert!(img.contains(&s(&[110, 111, 112])));
+        assert_eq!(comp.total_image(), inner.map(|v| v + 100));
+    }
+
+    #[test]
+    fn image_outside_domain_is_void() {
+        let id = CarrierMap::<u32, u32>::identity(&triangle());
+        assert!(id.image(&s(&[7, 8])).is_void());
+    }
+}

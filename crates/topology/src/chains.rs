@@ -1,0 +1,218 @@
+//! Indistinguishability chains (§1 of the paper).
+//!
+//! "Two global states are considered indistinguishable if one process has
+//! the same local state in both"; geometrically, two facets of a protocol
+//! complex are similar to degree `d+1` when they share a `d`-face. The
+//! *facet graph* connects facets sharing at least `min_shared` vertices,
+//! and a path in it is the classical chain argument: along the chain,
+//! some process cannot distinguish consecutive global states, so a
+//! consensus decision cannot change — which is exactly why connectivity
+//! kills agreement. [`indistinguishability_chain`] extracts such chains
+//! explicitly, turning the paper's §1 intuition into a witness object.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::{Complex, Label, Simplex};
+
+/// The facet graph of a complex: nodes are facets, edges connect facets
+/// sharing at least `min_shared` vertices.
+#[derive(Clone)]
+pub struct FacetGraph<V> {
+    facets: Vec<Simplex<V>>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl<V: Label> std::fmt::Debug for FacetGraph<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FacetGraph")
+            .field("facets", &self.facets.len())
+            .field("edges", &(self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2))
+            .finish()
+    }
+}
+
+impl<V: Label> FacetGraph<V> {
+    /// Builds the facet graph.
+    pub fn new(k: &Complex<V>, min_shared: usize) -> Self {
+        let facets: Vec<Simplex<V>> = k.facets().cloned().collect();
+        let mut adjacency = vec![Vec::new(); facets.len()];
+        for i in 0..facets.len() {
+            for j in (i + 1)..facets.len() {
+                if facets[i].intersection(&facets[j]).len() >= min_shared {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        FacetGraph { facets, adjacency }
+    }
+
+    /// The facets (graph nodes).
+    pub fn facets(&self) -> &[Simplex<V>] {
+        &self.facets
+    }
+
+    /// Neighbors of facet index `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adjacency[i]
+    }
+
+    /// Number of connected components of the facet graph.
+    pub fn component_count(&self) -> usize {
+        let mut seen = vec![false; self.facets.len()];
+        let mut components = 0;
+        for start in 0..self.facets.len() {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            let mut queue = VecDeque::from([start]);
+            seen[start] = true;
+            while let Some(u) = queue.pop_front() {
+                for &w in &self.adjacency[u] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Shortest path between two facets (BFS), as indices into
+    /// [`FacetGraph::facets`]. `None` when disconnected.
+    pub fn path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen: BTreeSet<usize> = [from].into_iter().collect();
+        while let Some(u) = queue.pop_front() {
+            for &w in &self.adjacency[u] {
+                if seen.insert(w) {
+                    prev.insert(w, u);
+                    if w == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// One link of an indistinguishability chain: the two global states and
+/// the pivot face (shared local states) witnessing their similarity.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ChainLink<V> {
+    /// The earlier global state.
+    pub from: Simplex<V>,
+    /// The later global state.
+    pub to: Simplex<V>,
+    /// The shared face: local states identical in both.
+    pub pivot: Simplex<V>,
+}
+
+impl<V: Label> std::fmt::Debug for ChainLink<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} ~{:?}~ {:?}", self.from, self.pivot, self.to)
+    }
+}
+
+/// Extracts an explicit indistinguishability chain between two facets:
+/// a sequence of links where consecutive global states share at least
+/// `min_shared` local states. Returns `None` when the facet graph
+/// disconnects them at that similarity degree.
+pub fn indistinguishability_chain<V: Label>(
+    k: &Complex<V>,
+    from: &Simplex<V>,
+    to: &Simplex<V>,
+    min_shared: usize,
+) -> Option<Vec<ChainLink<V>>> {
+    let graph = FacetGraph::new(k, min_shared);
+    let fi = graph.facets.iter().position(|f| f == from)?;
+    let ti = graph.facets.iter().position(|f| f == to)?;
+    let path = graph.path(fi, ti)?;
+    Some(
+        path.windows(2)
+            .map(|w| ChainLink {
+                from: graph.facets[w[0]].clone(),
+                to: graph.facets[w[1]].clone(),
+                pivot: graph.facets[w[0]].intersection(&graph.facets[w[1]]),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vs: &[u32]) -> Simplex<u32> {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn facet_graph_of_fan() {
+        // triangles around a hub vertex 0, consecutive ones share edges
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[0, 2, 3]), s(&[0, 3, 4])]);
+        let g1 = FacetGraph::new(&c, 1);
+        assert_eq!(g1.component_count(), 1);
+        let g2 = FacetGraph::new(&c, 2);
+        assert_eq!(g2.component_count(), 1); // edge-connected
+        let g3 = FacetGraph::new(&c, 3);
+        assert_eq!(g3.component_count(), 3); // no shared 2-faces
+        assert_eq!(g1.facets().len(), 3);
+        assert!(!g1.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn chain_through_shared_edges() {
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[0, 2, 3]), s(&[0, 3, 4])]);
+        let chain =
+            indistinguishability_chain(&c, &s(&[0, 1, 2]), &s(&[0, 3, 4]), 2).expect("connected");
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].pivot, s(&[0, 2]));
+        assert_eq!(chain[1].pivot, s(&[0, 3]));
+        // links are contiguous
+        assert_eq!(chain[0].to, chain[1].from);
+    }
+
+    #[test]
+    fn no_chain_when_degree_too_high() {
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[0, 2, 3])]);
+        assert!(indistinguishability_chain(&c, &s(&[0, 1, 2]), &s(&[0, 2, 3]), 3).is_none());
+        assert!(indistinguishability_chain(&c, &s(&[0, 1, 2]), &s(&[0, 2, 3]), 2).is_some());
+    }
+
+    #[test]
+    fn unknown_facets_rejected() {
+        let c = Complex::from_facets([s(&[0, 1, 2])]);
+        assert!(indistinguishability_chain(&c, &s(&[9, 10, 11]), &s(&[0, 1, 2]), 1).is_none());
+    }
+
+    #[test]
+    fn trivial_chain_same_facet() {
+        let c = Complex::from_facets([s(&[0, 1, 2])]);
+        let chain = indistinguishability_chain(&c, &s(&[0, 1, 2]), &s(&[0, 1, 2]), 1).unwrap();
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let c = Complex::from_facets([s(&[0, 1]), s(&[5, 6])]);
+        let g = FacetGraph::new(&c, 1);
+        assert_eq!(g.component_count(), 2);
+        assert!(g.path(0, 1).is_none());
+    }
+}

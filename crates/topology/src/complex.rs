@@ -1,0 +1,563 @@
+//! Abstract simplicial complexes represented by their facets.
+//!
+//! A *simplicial complex* (§3) is a set of simplexes closed under
+//! containment and intersection. We store only the *facets* (maximal
+//! simplexes); every face is implicitly present. This keeps protocol
+//! complexes — whose facet counts grow as products of view choices — compact
+//! while still supporting full enumeration when homology needs it.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::{Label, Simplex};
+
+/// A finite abstract simplicial complex, stored as its set of facets.
+///
+/// Invariant: no stored facet is a face of another (anti-chain). The *void*
+/// complex (no simplexes at all) is represented by an empty facet set; we
+/// never store the empty simplex as a facet.
+///
+/// # Examples
+///
+/// ```
+/// use ps_topology::{Complex, Simplex};
+///
+/// // The boundary of a triangle: three edges forming a cycle.
+/// let c = Complex::from_facets([
+///     Simplex::from_iter([0, 1]),
+///     Simplex::from_iter([1, 2]),
+///     Simplex::from_iter([0, 2]),
+/// ]);
+/// assert_eq!(c.dim(), 1);
+/// assert_eq!(c.facet_count(), 3);
+/// assert_eq!(c.euler_characteristic(), 0); // a circle
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Complex<V> {
+    facets: BTreeSet<Simplex<V>>,
+}
+
+impl<V: Label> Complex<V> {
+    /// The void complex (contains no simplexes).
+    pub fn new() -> Self {
+        Complex {
+            facets: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a complex from a collection of generating simplexes.
+    ///
+    /// Simplexes that are faces of other given simplexes are absorbed;
+    /// empty simplexes are dropped.
+    pub fn from_facets<I: IntoIterator<Item = Simplex<V>>>(simplexes: I) -> Self {
+        let mut c = Complex::new();
+        for s in simplexes {
+            c.add_simplex(s);
+        }
+        c
+    }
+
+    /// The complex consisting of a single simplex and all of its faces.
+    pub fn simplex(s: Simplex<V>) -> Self {
+        Complex::from_facets([s])
+    }
+
+    /// Adds a simplex (and implicitly all its faces).
+    pub fn add_simplex(&mut self, s: Simplex<V>) {
+        if s.is_empty() {
+            return;
+        }
+        if self.facets.iter().any(|f| s.is_face_of(f)) {
+            return;
+        }
+        self.facets.retain(|f| !f.is_face_of(&s));
+        self.facets.insert(s);
+    }
+
+    /// `true` iff the complex has no simplexes.
+    pub fn is_void(&self) -> bool {
+        self.facets.is_empty()
+    }
+
+    /// Dimension: the largest facet dimension, or `-1` if void.
+    pub fn dim(&self) -> i32 {
+        self.facets.iter().map(|f| f.dim()).max().unwrap_or(-1)
+    }
+
+    /// `true` iff every facet has the same dimension.
+    pub fn is_pure(&self) -> bool {
+        let mut dims = self.facets.iter().map(|f| f.dim());
+        match dims.next() {
+            None => true,
+            Some(d) => dims.all(|e| e == d),
+        }
+    }
+
+    /// Number of facets (maximal simplexes).
+    pub fn facet_count(&self) -> usize {
+        self.facets.len()
+    }
+
+    /// Iterator over facets, in lexicographic order.
+    pub fn facets(&self) -> impl Iterator<Item = &Simplex<V>> {
+        self.facets.iter()
+    }
+
+    /// `true` iff `s` is a simplex of the complex (a face of some facet).
+    ///
+    /// The empty simplex is a member of every non-void complex.
+    pub fn contains(&self, s: &Simplex<V>) -> bool {
+        if s.is_empty() {
+            return !self.is_void();
+        }
+        self.facets.iter().any(|f| s.is_face_of(f))
+    }
+
+    /// The set of all vertices.
+    pub fn vertex_set(&self) -> BTreeSet<V> {
+        self.facets
+            .iter()
+            .flat_map(|f| f.vertices().iter().cloned())
+            .collect()
+    }
+
+    /// Number of distinct vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_set().len()
+    }
+
+    /// All simplexes of dimension `d` (non-negative `d`), deduplicated.
+    pub fn simplices_of_dim(&self, d: i32) -> BTreeSet<Simplex<V>> {
+        let mut out = BTreeSet::new();
+        if d < 0 {
+            return out;
+        }
+        for f in &self.facets {
+            if f.dim() >= d {
+                out.extend(f.faces_of_dim(d));
+            }
+        }
+        out
+    }
+
+    /// All nonempty simplexes grouped by dimension: index `d` holds the
+    /// `d`-simplexes. The outer vector has length `dim() + 1`.
+    pub fn all_simplices(&self) -> Vec<Vec<Simplex<V>>> {
+        let top = self.dim();
+        if top < 0 {
+            return Vec::new();
+        }
+        let mut by_dim: Vec<BTreeSet<Simplex<V>>> = vec![BTreeSet::new(); (top + 1) as usize];
+        for f in &self.facets {
+            for face in f.faces() {
+                if !face.is_empty() {
+                    by_dim[face.dim() as usize].insert(face);
+                }
+            }
+        }
+        by_dim.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+
+    /// Total number of nonempty simplexes.
+    pub fn simplex_count(&self) -> usize {
+        self.all_simplices().iter().map(|v| v.len()).sum()
+    }
+
+    /// The f-vector: `f[d]` = number of `d`-simplexes, `d = 0..=dim`.
+    pub fn f_vector(&self) -> Vec<usize> {
+        self.all_simplices().iter().map(|v| v.len()).collect()
+    }
+
+    /// Euler characteristic `Σ (-1)^d f_d`.
+    pub fn euler_characteristic(&self) -> i64 {
+        self.f_vector()
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| if d % 2 == 0 { n as i64 } else { -(n as i64) })
+            .sum()
+    }
+
+    /// The `k`-skeleton: all simplexes of dimension at most `k`.
+    pub fn skeleton(&self, k: i32) -> Complex<V> {
+        if k < 0 {
+            return Complex::new();
+        }
+        let mut out = Complex::new();
+        for f in &self.facets {
+            if f.dim() <= k {
+                out.add_simplex(f.clone());
+            } else {
+                for face in f.faces_of_dim(k) {
+                    out.add_simplex(face);
+                }
+            }
+        }
+        out
+    }
+
+    /// Union of two complexes.
+    pub fn union(&self, other: &Complex<V>) -> Complex<V> {
+        let mut out = self.clone();
+        for f in &other.facets {
+            out.add_simplex(f.clone());
+        }
+        out
+    }
+
+    /// Intersection of two complexes: the simplexes lying in both.
+    ///
+    /// For facet-represented complexes the facets of `K ∩ L` are the maximal
+    /// elements of `{ f ∩ g : f facet of K, g facet of L }`.
+    pub fn intersection(&self, other: &Complex<V>) -> Complex<V> {
+        let mut out = Complex::new();
+        for f in &self.facets {
+            for g in &other.facets {
+                out.add_simplex(f.intersection(g));
+            }
+        }
+        out
+    }
+
+    /// The subcomplex induced by the vertices satisfying `keep`.
+    pub fn induced(&self, mut keep: impl FnMut(&V) -> bool) -> Complex<V> {
+        let mut out = Complex::new();
+        for f in &self.facets {
+            out.add_simplex(f.restrict(&mut keep));
+        }
+        out
+    }
+
+    /// The *star* of `s`: all simplexes containing `s` (closure thereof).
+    pub fn star(&self, s: &Simplex<V>) -> Complex<V> {
+        Complex::from_facets(
+            self.facets
+                .iter()
+                .filter(|f| s.is_face_of(f))
+                .cloned()
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The *link* of `s`: faces of facets containing `s` that are disjoint
+    /// from `s`.
+    pub fn link(&self, s: &Simplex<V>) -> Complex<V> {
+        let mut out = Complex::new();
+        for f in &self.facets {
+            if s.is_face_of(f) {
+                out.add_simplex(f.restrict(|v| !s.contains(v)));
+            }
+        }
+        out
+    }
+
+    /// The simplicial *join* `K * L`: simplexes are unions of a simplex of
+    /// `K` and a simplex of `L`. Vertex sets must be disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two complexes share a vertex.
+    pub fn join(&self, other: &Complex<V>) -> Complex<V> {
+        let mine = self.vertex_set();
+        assert!(
+            other.vertex_set().is_disjoint(&mine),
+            "join requires disjoint vertex sets"
+        );
+        if self.is_void() {
+            return other.clone();
+        }
+        if other.is_void() {
+            return self.clone();
+        }
+        let mut out = Complex::new();
+        for f in &self.facets {
+            for g in &other.facets {
+                out.add_simplex(f.union(g));
+            }
+        }
+        out
+    }
+
+    /// Relabels every vertex through `f`. This is the image complex of the
+    /// induced vertex map; if `f` is not injective, simplexes may collapse.
+    pub fn map<W: Label>(&self, mut f: impl FnMut(&V) -> W) -> Complex<W> {
+        let mut out = Complex::new();
+        for s in &self.facets {
+            out.add_simplex(s.map(&mut f));
+        }
+        out
+    }
+
+    /// The *boundary subcomplex* of a pure complex: the closure of the
+    /// codimension-1 faces that lie in exactly one facet. Void for
+    /// closed pseudomanifolds (every ridge shared) and for the void
+    /// complex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the complex is not pure (boundary is defined for pure
+    /// complexes).
+    pub fn boundary(&self) -> Complex<V> {
+        assert!(self.is_pure(), "boundary requires a pure complex");
+        let mut counts: BTreeMap<Simplex<V>, usize> = BTreeMap::new();
+        for f in &self.facets {
+            for ridge in f.boundary_faces() {
+                *counts.entry(ridge).or_default() += 1;
+            }
+        }
+        Complex::from_facets(
+            counts
+                .into_iter()
+                .filter(|(_, c)| *c == 1)
+                .map(|(r, _)| r),
+        )
+    }
+
+    /// Connected components of the underlying graph (0- and 1-simplexes).
+    /// Each component is returned as its vertex set.
+    pub fn components(&self) -> Vec<BTreeSet<V>> {
+        let verts: Vec<V> = self.vertex_set().into_iter().collect();
+        let index: BTreeMap<&V, usize> = verts.iter().enumerate().map(|(i, v)| (v, i)).collect();
+        let mut dsu: Vec<usize> = (0..verts.len()).collect();
+        fn find(dsu: &mut [usize], mut x: usize) -> usize {
+            while dsu[x] != x {
+                dsu[x] = dsu[dsu[x]];
+                x = dsu[x];
+            }
+            x
+        }
+        for f in &self.facets {
+            let vs = f.vertices();
+            for w in &vs[1..] {
+                let a = find(&mut dsu, index[&vs[0]]);
+                let b = find(&mut dsu, index[w]);
+                dsu[a] = b;
+            }
+        }
+        let mut comps: BTreeMap<usize, BTreeSet<V>> = BTreeMap::new();
+        for (i, v) in verts.iter().enumerate() {
+            let r = find(&mut dsu, i);
+            comps.entry(r).or_default().insert(v.clone());
+        }
+        comps.into_values().collect()
+    }
+
+    /// `true` iff the complex is nonempty and graph-connected
+    /// (0-connected in the paper's terminology).
+    pub fn is_connected(&self) -> bool {
+        self.components().len() == 1
+    }
+}
+
+impl<V: Label> Default for Complex<V> {
+    fn default() -> Self {
+        Complex::new()
+    }
+}
+
+impl<V: Label> FromIterator<Simplex<V>> for Complex<V> {
+    fn from_iter<I: IntoIterator<Item = Simplex<V>>>(iter: I) -> Self {
+        Complex::from_facets(iter)
+    }
+}
+
+impl<V: Label> Extend<Simplex<V>> for Complex<V> {
+    fn extend<I: IntoIterator<Item = Simplex<V>>>(&mut self, iter: I) {
+        for s in iter {
+            self.add_simplex(s);
+        }
+    }
+}
+
+impl<V: Label> fmt::Debug for Complex<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Complex{{dim={}, facets=[", self.dim())?;
+        for (i, s) in self.facets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s:?}")?;
+        }
+        write!(f, "]}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vs: &[u32]) -> Simplex<u32> {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    fn triangle_boundary() -> Complex<u32> {
+        Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])])
+    }
+
+    #[test]
+    fn void_complex() {
+        let c = Complex::<u32>::new();
+        assert!(c.is_void());
+        assert_eq!(c.dim(), -1);
+        assert_eq!(c.facet_count(), 0);
+        assert!(!c.contains(&Simplex::empty()));
+        assert!(!c.is_connected());
+    }
+
+    #[test]
+    fn facet_absorption() {
+        let mut c = Complex::new();
+        c.add_simplex(s(&[1, 2]));
+        c.add_simplex(s(&[1, 2, 3])); // absorbs the edge
+        c.add_simplex(s(&[2, 3])); // already a face
+        assert_eq!(c.facet_count(), 1);
+        assert!(c.contains(&s(&[1, 2])));
+        assert!(c.contains(&Simplex::empty()));
+        assert!(!c.contains(&s(&[1, 4])));
+    }
+
+    #[test]
+    fn f_vector_and_euler_of_solid_triangle() {
+        let c = Complex::simplex(s(&[0, 1, 2]));
+        assert_eq!(c.f_vector(), vec![3, 3, 1]);
+        assert_eq!(c.euler_characteristic(), 1); // contractible
+        assert!(c.is_pure());
+    }
+
+    #[test]
+    fn f_vector_of_circle() {
+        let c = triangle_boundary();
+        assert_eq!(c.f_vector(), vec![3, 3]);
+        assert_eq!(c.euler_characteristic(), 0);
+        assert_eq!(c.dim(), 1);
+    }
+
+    #[test]
+    fn skeleton_of_tetrahedron() {
+        let t = Complex::simplex(s(&[0, 1, 2, 3]));
+        let sk1 = t.skeleton(1);
+        assert_eq!(sk1.f_vector(), vec![4, 6]);
+        let sk2 = t.skeleton(2);
+        assert_eq!(sk2.f_vector(), vec![4, 6, 4]);
+        // boundary of tetrahedron = 2-sphere: euler = 2
+        assert_eq!(sk2.euler_characteristic(), 2);
+        assert_eq!(t.skeleton(-1), Complex::new());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Complex::simplex(s(&[0, 1, 2]));
+        let b = Complex::simplex(s(&[1, 2, 3]));
+        let u = a.union(&b);
+        assert_eq!(u.facet_count(), 2);
+        let i = a.intersection(&b);
+        assert_eq!(i.facets().cloned().collect::<Vec<_>>(), vec![s(&[1, 2])]);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_void() {
+        let a = Complex::simplex(s(&[0, 1]));
+        let b = Complex::simplex(s(&[2, 3]));
+        assert!(a.intersection(&b).is_void());
+    }
+
+    #[test]
+    fn induced_subcomplex() {
+        let c = Complex::simplex(s(&[0, 1, 2, 3]));
+        let ind = c.induced(|v| *v != 3);
+        assert_eq!(ind.facets().cloned().collect::<Vec<_>>(), vec![s(&[0, 1, 2])]);
+    }
+
+    #[test]
+    fn star_and_link() {
+        let c = triangle_boundary();
+        let st = c.star(&Simplex::vertex(0));
+        assert_eq!(st.facet_count(), 2); // edges 01 and 02
+        let lk = c.link(&Simplex::vertex(0));
+        assert_eq!(
+            lk.facets().cloned().collect::<Vec<_>>(),
+            vec![Simplex::vertex(1), Simplex::vertex(2)]
+        );
+    }
+
+    #[test]
+    fn join_point_with_circle_is_cone() {
+        let circle = triangle_boundary();
+        let apex = Complex::simplex(Simplex::vertex(9));
+        let cone = circle.join(&apex);
+        assert_eq!(cone.f_vector(), vec![4, 6, 3]);
+        assert_eq!(cone.euler_characteristic(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn join_rejects_shared_vertices() {
+        let a = Complex::simplex(s(&[0, 1]));
+        let b = Complex::simplex(s(&[1, 2]));
+        let _ = a.join(&b);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut c = Complex::from_facets([s(&[0, 1]), s(&[1, 2])]);
+        assert!(c.is_connected());
+        c.add_simplex(s(&[7, 8]));
+        let comps = c.components();
+        assert_eq!(comps.len(), 2);
+        assert!(!c.is_connected());
+    }
+
+    #[test]
+    fn simplices_of_dim() {
+        let c = Complex::simplex(s(&[0, 1, 2]));
+        assert_eq!(c.simplices_of_dim(0).len(), 3);
+        assert_eq!(c.simplices_of_dim(1).len(), 3);
+        assert_eq!(c.simplices_of_dim(2).len(), 1);
+        assert!(c.simplices_of_dim(3).is_empty());
+        assert!(c.simplices_of_dim(-1).is_empty());
+    }
+
+    #[test]
+    fn map_relabel_collapse() {
+        let c = Complex::simplex(s(&[0, 1, 2]));
+        let collapsed = c.map(|v| v / 2); // 0,1 -> 0; 2 -> 1
+        assert_eq!(collapsed.dim(), 1);
+        assert!(collapsed.contains(&s(&[0, 1])));
+    }
+
+    #[test]
+    fn boundary_of_solid_triangle_is_circle() {
+        let c = Complex::simplex(s(&[0, 1, 2]));
+        let b = c.boundary();
+        assert_eq!(b.f_vector(), vec![3, 3]);
+        assert_eq!(b.euler_characteristic(), 0);
+    }
+
+    #[test]
+    fn boundary_of_closed_surface_is_void() {
+        let sphere = Complex::simplex(s(&[0, 1, 2, 3])).skeleton(2);
+        assert!(sphere.boundary().is_void());
+    }
+
+    #[test]
+    fn boundary_of_two_glued_triangles() {
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[1, 2, 3])]);
+        let b = c.boundary();
+        // the shared edge {1,2} is interior; boundary is the 4-cycle
+        assert_eq!(b.f_vector(), vec![4, 4]);
+        assert!(!b.contains(&s(&[1, 2])));
+    }
+
+    #[test]
+    #[should_panic(expected = "pure")]
+    fn boundary_of_impure_rejected() {
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[4, 5])]);
+        let _ = c.boundary();
+    }
+
+    #[test]
+    fn link_of_edge_in_tetrahedron() {
+        let t = Complex::simplex(s(&[0, 1, 2, 3]));
+        let lk = t.link(&s(&[0, 1]));
+        assert_eq!(lk.facets().cloned().collect::<Vec<_>>(), vec![s(&[2, 3])]);
+    }
+}

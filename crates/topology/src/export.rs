@@ -1,0 +1,328 @@
+//! Exporters for regenerating the paper's figures.
+//!
+//! Figures 1–3 of the paper are drawings of small complexes. These
+//! renderers produce machine-readable equivalents:
+//!
+//! * [`to_dot`] — Graphviz DOT of the 1-skeleton (2-simplexes shaded via
+//!   comment annotations),
+//! * [`to_off`] — OFF mesh (vertices on a deterministic sphere layout,
+//!   triangles from the 2-skeleton) for 3-D viewers,
+//! * [`ascii_summary`] — a textual facet/f-vector listing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Complex, Label, Simplex};
+
+/// Renders the 1-skeleton as a Graphviz DOT graph. Vertices are labeled
+/// with their `Debug` form; each 2-simplex is recorded as a comment so
+/// the original complex is recoverable.
+pub fn to_dot<V: Label>(k: &Complex<V>, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{name}\" {{");
+    let _ = writeln!(out, "  layout=neato; node [shape=circle, fontsize=10];");
+    let verts: Vec<V> = k.vertex_set().into_iter().collect();
+    let index: BTreeMap<&V, usize> = verts.iter().enumerate().map(|(i, v)| (v, i)).collect();
+    for (i, v) in verts.iter().enumerate() {
+        let _ = writeln!(out, "  v{i} [label=\"{v:?}\"];");
+    }
+    for e in k.simplices_of_dim(1) {
+        let vs = e.vertices();
+        let _ = writeln!(out, "  v{} -- v{};", index[&vs[0]], index[&vs[1]]);
+    }
+    for t in k.simplices_of_dim(2) {
+        let vs = t.vertices();
+        let _ = writeln!(
+            out,
+            "  // 2-simplex: v{} v{} v{}",
+            index[&vs[0]], index[&vs[1]], index[&vs[2]]
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the 2-skeleton as an OFF mesh. Vertex positions are placed
+/// deterministically on a unit sphere (golden-spiral layout), which is
+/// adequate for inspecting the small complexes of the paper's figures.
+pub fn to_off<V: Label>(k: &Complex<V>) -> String {
+    let verts: Vec<V> = k.vertex_set().into_iter().collect();
+    let index: BTreeMap<&V, usize> = verts.iter().enumerate().map(|(i, v)| (v, i)).collect();
+    let tris: Vec<Vec<usize>> = k
+        .simplices_of_dim(2)
+        .into_iter()
+        .map(|t| t.vertices().iter().map(|v| index[v]).collect())
+        .collect();
+    let n = verts.len();
+    let mut out = String::new();
+    let _ = writeln!(out, "OFF");
+    let _ = writeln!(out, "{} {} 0", n, tris.len());
+    // golden-spiral sphere layout
+    let phi = std::f64::consts::PI * (3.0 - 5f64.sqrt());
+    for i in 0..n {
+        let y = if n == 1 { 0.0 } else { 1.0 - 2.0 * (i as f64) / ((n - 1) as f64) };
+        let r = (1.0 - y * y).max(0.0).sqrt();
+        let theta = phi * i as f64;
+        let _ = writeln!(
+            out,
+            "{:.6} {:.6} {:.6}",
+            r * theta.cos(),
+            y,
+            r * theta.sin()
+        );
+    }
+    for t in &tris {
+        let _ = writeln!(out, "3 {} {} {}", t[0], t[1], t[2]);
+    }
+    out
+}
+
+/// A textual summary: dimension, f-vector, Euler characteristic, and the
+/// facet list — the form in which the paper's figure captions describe
+/// their complexes.
+pub fn ascii_summary<V: Label>(k: &Complex<V>, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {name} ==");
+    let _ = writeln!(
+        out,
+        "dim = {}, f-vector = {:?}, euler = {}",
+        k.dim(),
+        k.f_vector(),
+        k.euler_characteristic()
+    );
+    let _ = writeln!(out, "facets ({}):", k.facet_count());
+    for f in k.facets() {
+        let _ = writeln!(out, "  {f:?}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simplex;
+
+    fn sphere() -> Complex<u32> {
+        Complex::simplex(Simplex::from_iter(0u32..4)).skeleton(2)
+    }
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let dot = to_dot(&sphere(), "s2");
+        assert!(dot.starts_with("graph \"s2\""));
+        assert_eq!(dot.matches(" -- ").count(), 6);
+        assert_eq!(dot.matches("2-simplex").count(), 4);
+    }
+
+    #[test]
+    fn off_counts() {
+        let off = to_off(&sphere());
+        let mut lines = off.lines();
+        assert_eq!(lines.next(), Some("OFF"));
+        assert_eq!(lines.next(), Some("4 4 0"));
+        // 4 coordinate lines then 4 face lines
+        assert_eq!(off.lines().count(), 2 + 4 + 4);
+    }
+
+    #[test]
+    fn off_single_vertex() {
+        let c = Complex::simplex(Simplex::vertex(0u32));
+        let off = to_off(&c);
+        assert!(off.contains("1 0 0"));
+    }
+
+    #[test]
+    fn summary_mentions_fvector() {
+        let s = ascii_summary(&sphere(), "boundary of tetrahedron");
+        assert!(s.contains("f-vector = [4, 6, 4]"));
+        assert!(s.contains("euler = 2"));
+        assert!(s.contains("facets (4):"));
+    }
+}
+
+/// Error from [`from_text`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseComplexError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseComplexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseComplexError {}
+
+/// Serializes a complex to the line-oriented `complex v1` text format:
+/// a header line, then one `facet` line per facet with
+/// whitespace-separated, quoted-when-needed vertex labels. Stable and
+/// diff-friendly; round-trips through [`from_text`].
+pub fn to_text(k: &Complex<String>) -> String {
+    let mut out = String::from("complex v1\n");
+    for f in k.facets() {
+        out.push_str("facet");
+        for v in f.vertices() {
+            out.push(' ');
+            if v.is_empty() || v.contains([' ', '"', '\n', '\t']) {
+                out.push('"');
+                for ch in v.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            } else {
+                out.push_str(v);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the [`to_text`] format.
+///
+/// # Errors
+///
+/// [`ParseComplexError`] on a bad header, malformed quoting, or an
+/// unknown directive.
+pub fn from_text(text: &str) -> Result<Complex<String>, ParseComplexError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == "complex v1" => {}
+        _ => {
+            return Err(ParseComplexError {
+                line: 1,
+                message: "expected header `complex v1`".into(),
+            })
+        }
+    }
+    let mut out = Complex::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("facet") else {
+            return Err(ParseComplexError {
+                line: line_no,
+                message: format!("unknown directive: {line}"),
+            });
+        };
+        let mut verts = Vec::new();
+        let mut chars = rest.chars().peekable();
+        loop {
+            while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+                chars.next();
+            }
+            match chars.peek() {
+                None => break,
+                Some('"') => {
+                    chars.next();
+                    let mut label = String::new();
+                    loop {
+                        match chars.next() {
+                            None => {
+                                return Err(ParseComplexError {
+                                    line: line_no,
+                                    message: "unterminated quote".into(),
+                                })
+                            }
+                            Some('"') => break,
+                            Some('\\') => match chars.next() {
+                                Some('n') => label.push('\n'),
+                                Some('t') => label.push('\t'),
+                                Some(c) => label.push(c),
+                                None => {
+                                    return Err(ParseComplexError {
+                                        line: line_no,
+                                        message: "dangling escape".into(),
+                                    })
+                                }
+                            },
+                            Some(c) => label.push(c),
+                        }
+                    }
+                    verts.push(label);
+                }
+                Some(_) => {
+                    let mut label = String::new();
+                    while matches!(chars.peek(), Some(c) if !c.is_whitespace()) {
+                        label.push(chars.next().unwrap());
+                    }
+                    verts.push(label);
+                }
+            }
+        }
+        out.add_simplex(Simplex::new(verts));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod text_tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let c = Complex::from_facets([
+            Simplex::from_iter(["a".to_string(), "b".into()]),
+            Simplex::from_iter(["b".to_string(), "c".into(), "d".into()]),
+        ]);
+        let text = to_text(&c);
+        assert!(text.starts_with("complex v1\n"));
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn roundtrip_quoted_labels() {
+        let c = Complex::from_facets([Simplex::from_iter([
+            "has space".to_string(),
+            "has\"quote".into(),
+            "has\nnewline".into(),
+            "".into(),
+        ])]);
+        let back = from_text(&to_text(&c)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn roundtrip_from_debug_labels() {
+        // arbitrary vertex types export through their Debug form
+        let c = Complex::simplex(Simplex::from_iter(0u32..3)).skeleton(1);
+        let as_text = to_text(&c.map(|v| format!("{v:?}")));
+        let back = from_text(&as_text).unwrap();
+        assert_eq!(back.f_vector(), c.f_vector());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(from_text("nope").is_err());
+        assert!(from_text("complex v1\nwidget a b").is_err());
+        assert!(from_text("complex v1\nfacet \"unterminated").is_err());
+        let e = from_text("complex v1\nfacet \"dangling\\").unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let c = from_text("complex v1\n\n# a comment\nfacet x y\n").unwrap();
+        assert_eq!(c.facet_count(), 1);
+    }
+
+    #[test]
+    fn empty_complex_roundtrip() {
+        let c = Complex::<String>::new();
+        assert_eq!(from_text(&to_text(&c)).unwrap(), c);
+    }
+}

@@ -1,0 +1,406 @@
+//! Simplicial maps and isomorphism testing.
+//!
+//! The paper's Lemmas 11, 14, and 19 assert isomorphisms between protocol
+//! complexes and (unions of) pseudospheres; the cross-validation
+//! experiments check those isomorphisms explicitly with the machinery here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Complex, Label, Simplex};
+
+/// A vertex map between complexes, checked for simpliciality.
+///
+/// A map `μ : K → L` on vertices is *simplicial* if the image of every
+/// simplex of `K` is a simplex of `L`.
+#[derive(Clone)]
+pub struct SimplicialMap<V, W> {
+    map: BTreeMap<V, W>,
+}
+
+impl<V: Label, W: Label> std::fmt::Debug for SimplicialMap<V, W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimplicialMap").field("map", &self.map).finish()
+    }
+}
+
+impl<V: Label, W: Label> SimplicialMap<V, W> {
+    /// Builds a map from explicit vertex pairs.
+    pub fn new<I: IntoIterator<Item = (V, W)>>(pairs: I) -> Self {
+        SimplicialMap {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Builds the map `v ↦ f(v)` over the vertices of `k`.
+    pub fn from_fn<F: FnMut(&V) -> W>(k: &Complex<V>, mut f: F) -> Self {
+        SimplicialMap {
+            map: k.vertex_set().into_iter().map(|v| (f(&v), v)).map(|(w, v)| (v, w)).collect(),
+        }
+    }
+
+    /// The image of a vertex.
+    pub fn apply(&self, v: &V) -> Option<&W> {
+        self.map.get(v)
+    }
+
+    /// The image of a simplex (vertices merged if the map collapses them).
+    pub fn apply_simplex(&self, s: &Simplex<V>) -> Option<Simplex<W>> {
+        let mut verts = Vec::with_capacity(s.len());
+        for v in s.vertices() {
+            verts.push(self.map.get(v)?.clone());
+        }
+        Some(Simplex::new(verts))
+    }
+
+    /// `true` iff every vertex of `k` has an image and the image of every
+    /// facet of `k` is a simplex of `l`.
+    pub fn is_simplicial(&self, k: &Complex<V>, l: &Complex<W>) -> bool {
+        k.facets().all(|f| match self.apply_simplex(f) {
+            Some(img) => l.contains(&img),
+            None => false,
+        })
+    }
+
+    /// `true` iff the map is injective on the vertices of `k`.
+    pub fn is_injective_on(&self, k: &Complex<V>) -> bool {
+        let verts = k.vertex_set();
+        let mut images = BTreeSet::new();
+        for v in &verts {
+            match self.map.get(v) {
+                Some(w) => {
+                    if !images.insert(w.clone()) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// `true` iff the map is a simplicial isomorphism `k → l`: a vertex
+    /// bijection under which facets correspond exactly.
+    pub fn is_isomorphism(&self, k: &Complex<V>, l: &Complex<W>) -> bool {
+        if !self.is_injective_on(k) {
+            return false;
+        }
+        if k.vertex_count() != l.vertex_count() || k.facet_count() != l.facet_count() {
+            return false;
+        }
+        let image: BTreeSet<Simplex<W>> = match k
+            .facets()
+            .map(|f| self.apply_simplex(f))
+            .collect::<Option<BTreeSet<_>>>()
+        {
+            Some(s) => s,
+            None => return false,
+        };
+        let target: BTreeSet<Simplex<W>> = l.facets().cloned().collect();
+        image == target
+    }
+
+    /// The image complex of `k` under this map.
+    pub fn image(&self, k: &Complex<V>) -> Option<Complex<W>> {
+        let mut out = Complex::new();
+        for f in k.facets() {
+            out.add_simplex(self.apply_simplex(f)?);
+        }
+        Some(out)
+    }
+}
+
+/// Vertex invariant used to prune the isomorphism search: the sorted
+/// multiset of facet dimensions the vertex belongs to, plus its degree in
+/// the 1-skeleton.
+fn signature<V: Label>(k: &Complex<V>) -> BTreeMap<V, (Vec<i32>, usize)> {
+    let mut sig: BTreeMap<V, (Vec<i32>, usize)> = k
+        .vertex_set()
+        .into_iter()
+        .map(|v| (v, (Vec::new(), 0usize)))
+        .collect();
+    for f in k.facets() {
+        for v in f.vertices() {
+            sig.get_mut(v).unwrap().0.push(f.dim());
+        }
+    }
+    for e in k.simplices_of_dim(1) {
+        for v in e.vertices() {
+            sig.get_mut(v).unwrap().1 += 1;
+        }
+    }
+    for (_, (dims, _)) in sig.iter_mut() {
+        dims.sort_unstable();
+    }
+    sig
+}
+
+/// Searches for a simplicial isomorphism between two complexes.
+///
+/// Backtracking over vertex bijections, pruned by vertex signatures and
+/// incremental edge-compatibility. Exponential in the worst case but fast
+/// for the protocol complexes of this crate. Returns a witness map when
+/// the complexes are isomorphic.
+pub fn find_isomorphism<V: Label, W: Label>(
+    k: &Complex<V>,
+    l: &Complex<W>,
+) -> Option<SimplicialMap<V, W>> {
+    if k.vertex_count() != l.vertex_count()
+        || k.facet_count() != l.facet_count()
+        || k.f_vector() != l.f_vector()
+    {
+        return None;
+    }
+    if k.is_void() {
+        return Some(SimplicialMap::new(Vec::<(V, W)>::new()));
+    }
+    let sig_k = signature(k);
+    let sig_l = signature(l);
+    let kverts: Vec<V> = {
+        // order by rarity of signature for early pruning
+        let mut vs: Vec<V> = k.vertex_set().into_iter().collect();
+        let mut freq: BTreeMap<&(Vec<i32>, usize), usize> = BTreeMap::new();
+        for v in &vs {
+            *freq.entry(&sig_k[v]).or_default() += 1;
+        }
+        vs.sort_by_key(|v| freq[&sig_k[v]]);
+        vs
+    };
+    let lverts: Vec<W> = l.vertex_set().into_iter().collect();
+
+    // adjacency for incremental checks
+    let k_edges: BTreeSet<(V, V)> = k
+        .simplices_of_dim(1)
+        .into_iter()
+        .map(|e| (e.vertices()[0].clone(), e.vertices()[1].clone()))
+        .collect();
+    let l_edges: BTreeSet<(W, W)> = l
+        .simplices_of_dim(1)
+        .into_iter()
+        .map(|e| (e.vertices()[0].clone(), e.vertices()[1].clone()))
+        .collect();
+    let k_adj = |a: &V, b: &V| {
+        let (x, y) = if a < b { (a, b) } else { (b, a) };
+        k_edges.contains(&(x.clone(), y.clone()))
+    };
+    let l_adj = |a: &W, b: &W| {
+        let (x, y) = if a < b { (a, b) } else { (b, a) };
+        l_edges.contains(&(x.clone(), y.clone()))
+    };
+
+    #[allow(clippy::too_many_arguments)]
+    fn backtrack<V: Label, W: Label>(
+        i: usize,
+        kverts: &[V],
+        lverts: &[W],
+        sig_k: &BTreeMap<V, (Vec<i32>, usize)>,
+        sig_l: &BTreeMap<W, (Vec<i32>, usize)>,
+        assigned: &mut BTreeMap<V, W>,
+        used: &mut BTreeSet<W>,
+        k_adj: &dyn Fn(&V, &V) -> bool,
+        l_adj: &dyn Fn(&W, &W) -> bool,
+    ) -> bool {
+        if i == kverts.len() {
+            return true;
+        }
+        let v = &kverts[i];
+        for w in lverts {
+            if used.contains(w) || sig_k[v] != sig_l[w] {
+                continue;
+            }
+            // incremental edge compatibility with already-assigned vertices
+            let compatible = assigned
+                .iter()
+                .all(|(v2, w2)| k_adj(v, v2) == l_adj(w, w2));
+            if !compatible {
+                continue;
+            }
+            assigned.insert(v.clone(), w.clone());
+            used.insert(w.clone());
+            if backtrack(i + 1, kverts, lverts, sig_k, sig_l, assigned, used, k_adj, l_adj) {
+                return true;
+            }
+            assigned.remove(v);
+            used.remove(w);
+        }
+        false
+    }
+
+    let mut assigned = BTreeMap::new();
+    let mut used = BTreeSet::new();
+    // The edge-compatible bijection found by backtracking is a candidate;
+    // verify full facet correspondence (needed for dim > 1 complexes).
+    if !backtrack(
+        0, &kverts, &lverts, &sig_k, &sig_l, &mut assigned, &mut used, &k_adj, &l_adj,
+    ) {
+        return None;
+    }
+    let m = SimplicialMap::new(assigned.clone());
+    if m.is_isomorphism(k, l) {
+        return Some(m);
+    }
+    // Rare: edge-compatible but not facet-compatible. Fall back to a full
+    // search over facet-checked assignments.
+    find_isomorphism_exhaustive(k, l, &sig_k, &sig_l)
+}
+
+fn find_isomorphism_exhaustive<V: Label, W: Label>(
+    k: &Complex<V>,
+    l: &Complex<W>,
+    sig_k: &BTreeMap<V, (Vec<i32>, usize)>,
+    sig_l: &BTreeMap<W, (Vec<i32>, usize)>,
+) -> Option<SimplicialMap<V, W>> {
+    let kverts: Vec<V> = k.vertex_set().into_iter().collect();
+    let lverts: Vec<W> = l.vertex_set().into_iter().collect();
+    let kfacets: Vec<&Simplex<V>> = k.facets().collect();
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec<V: Label, W: Label>(
+        i: usize,
+        kverts: &[V],
+        lverts: &[W],
+        sig_k: &BTreeMap<V, (Vec<i32>, usize)>,
+        sig_l: &BTreeMap<W, (Vec<i32>, usize)>,
+        kfacets: &[&Simplex<V>],
+        l: &Complex<W>,
+        assigned: &mut BTreeMap<V, W>,
+        used: &mut BTreeSet<W>,
+    ) -> bool {
+        if i == kverts.len() {
+            let m = SimplicialMap::new(assigned.clone());
+            return m.is_isomorphism(
+                &Complex::from_facets(kfacets.iter().map(|f| (*f).clone())),
+                l,
+            );
+        }
+        let v = &kverts[i];
+        for w in lverts {
+            if used.contains(w) || sig_k[v] != sig_l[w] {
+                continue;
+            }
+            assigned.insert(v.clone(), w.clone());
+            used.insert(w.clone());
+            // partial facet check: any fully-assigned facet must map into l
+            let ok = kfacets.iter().all(|f| {
+                if f.vertices().iter().all(|x| assigned.contains_key(x)) {
+                    let img = Simplex::new(
+                        f.vertices().iter().map(|x| assigned[x].clone()).collect(),
+                    );
+                    l.contains(&img)
+                } else {
+                    true
+                }
+            });
+            if ok && rec(i + 1, kverts, lverts, sig_k, sig_l, kfacets, l, assigned, used) {
+                return true;
+            }
+            assigned.remove(v);
+            used.remove(w);
+        }
+        false
+    }
+
+    let mut assigned = BTreeMap::new();
+    let mut used = BTreeSet::new();
+    if rec(
+        0, &kverts, &lverts, sig_k, sig_l, &kfacets, l, &mut assigned, &mut used,
+    ) {
+        Some(SimplicialMap::new(assigned))
+    } else {
+        None
+    }
+}
+
+/// Convenience: `true` iff the two complexes are simplicially isomorphic.
+pub fn are_isomorphic<V: Label, W: Label>(k: &Complex<V>, l: &Complex<W>) -> bool {
+    find_isomorphism(k, l).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vs: &[u32]) -> Simplex<u32> {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn identity_is_isomorphism() {
+        let c = Complex::simplex(s(&[0, 1, 2]));
+        let m = SimplicialMap::from_fn(&c, |v| *v);
+        assert!(m.is_simplicial(&c, &c));
+        assert!(m.is_isomorphism(&c, &c));
+    }
+
+    #[test]
+    fn relabeling_is_isomorphism() {
+        let c = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]);
+        let d = c.map(|v| v + 100);
+        let m = SimplicialMap::from_fn(&c, |v| v + 100);
+        assert!(m.is_isomorphism(&c, &d));
+        assert!(are_isomorphic(&c, &d));
+    }
+
+    #[test]
+    fn collapse_is_not_isomorphism() {
+        let c = Complex::simplex(s(&[0, 1]));
+        let m = SimplicialMap::from_fn(&c, |_| 0u32);
+        let img = m.image(&c).unwrap();
+        assert_eq!(img.dim(), 0);
+        assert!(!m.is_injective_on(&c));
+        assert!(!m.is_isomorphism(&c, &img));
+    }
+
+    #[test]
+    fn find_isomorphism_on_circles() {
+        let a = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]);
+        let b = Complex::from_facets([s(&[10, 20]), s(&[20, 30]), s(&[10, 30])]);
+        let m = find_isomorphism(&a, &b).expect("isomorphic");
+        assert!(m.is_isomorphism(&a, &b));
+    }
+
+    #[test]
+    fn non_isomorphic_different_fvector() {
+        let a = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]); // circle
+        let b = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[2, 3])]); // path
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn non_isomorphic_same_fvector() {
+        // 4-cycle vs. two disjoint edges + ... need same f-vector:
+        // path of 3 edges (4 verts, 3 edges) vs star with 3 edges (4 verts).
+        let path = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[2, 3])]);
+        let star = Complex::from_facets([s(&[0, 1]), s(&[0, 2]), s(&[0, 3])]);
+        assert_eq!(path.f_vector(), star.f_vector());
+        assert!(!are_isomorphic(&path, &star));
+    }
+
+    #[test]
+    fn isomorphism_of_spheres() {
+        let a = Complex::simplex(s(&[0, 1, 2, 3])).skeleton(2);
+        let b = Complex::simplex(s(&[7, 8, 9, 10])).skeleton(2);
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn isomorphism_mixed_dimensions() {
+        let a = Complex::from_facets([s(&[0, 1, 2]), s(&[2, 3])]);
+        let b = Complex::from_facets([s(&[5, 6, 7]), s(&[4, 5])]);
+        assert!(are_isomorphic(&a, &b));
+        let c2 = Complex::from_facets([s(&[5, 6, 7]), s(&[3, 4])]);
+        assert!(!are_isomorphic(&a, &c2));
+    }
+
+    #[test]
+    fn void_complexes_isomorphic() {
+        assert!(are_isomorphic(&Complex::<u32>::new(), &Complex::<u8>::new()));
+    }
+
+    #[test]
+    fn apply_simplex_missing_vertex() {
+        let m: SimplicialMap<u32, u32> = SimplicialMap::new([(0, 5)]);
+        assert_eq!(m.apply_simplex(&s(&[0])), Some(Simplex::vertex(5)));
+        assert_eq!(m.apply_simplex(&s(&[0, 1])), None);
+        assert_eq!(m.apply(&1), None);
+    }
+}

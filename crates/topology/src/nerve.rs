@@ -1,0 +1,143 @@
+//! The nerve of a cover.
+//!
+//! For a cover `K = K_0 ∪ ... ∪ K_t` by subcomplexes, the *nerve* is the
+//! complex on vertices `{0..t}` where a set of indices spans a simplex
+//! iff the corresponding members have a nonempty common intersection.
+//! The Nerve Lemma: if every nonempty intersection of members is
+//! contractible, the nerve is homotopy equivalent to `K` — the same
+//! "connectivity from cover structure" principle that Theorem 2
+//! (Mayer–Vietoris) applies two members at a time. For pseudosphere
+//! unions the nerve gives a quick picture of the gluing pattern
+//! (Figure 3's nerve is a star: the three squares each meet the central
+//! triangle).
+
+use crate::{Complex, Label, Simplex};
+
+/// Builds the nerve of a cover given as a list of member complexes.
+///
+/// Vertex `i` of the nerve corresponds to `members[i]`; void members get
+/// no vertex.
+pub fn nerve<V: Label>(members: &[Complex<V>]) -> Complex<usize> {
+    let live: Vec<usize> = (0..members.len())
+        .filter(|&i| !members[i].is_void())
+        .collect();
+    let mut out = Complex::new();
+    // enumerate subsets of live members (the covers used here are small)
+    assert!(live.len() <= 20, "nerve limited to ≤ 20 members");
+    for mask in 1u32..(1 << live.len()) {
+        let subset: Vec<usize> = live
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| mask & (1 << b) != 0)
+            .map(|(_, &i)| i)
+            .collect();
+        let mut inter = members[subset[0]].clone();
+        for &i in &subset[1..] {
+            inter = inter.intersection(&members[i]);
+            if inter.is_void() {
+                break;
+            }
+        }
+        if !inter.is_void() {
+            out.add_simplex(Simplex::new(subset));
+        }
+    }
+    out
+}
+
+/// Checks the Nerve Lemma hypothesis: every nonempty intersection of
+/// cover members is "acyclic" in the computable sense (trivial reduced
+/// homology). Returns `false` when some nonempty intersection has
+/// non-trivial homology.
+pub fn nerve_lemma_hypothesis<V: Label>(members: &[Complex<V>]) -> bool {
+    let live: Vec<usize> = (0..members.len())
+        .filter(|&i| !members[i].is_void())
+        .collect();
+    assert!(live.len() <= 20, "nerve limited to ≤ 20 members");
+    for mask in 1u32..(1 << live.len()) {
+        let subset: Vec<usize> = live
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| mask & (1 << b) != 0)
+            .map(|(_, &i)| i)
+            .collect();
+        let mut inter = members[subset[0]].clone();
+        for &i in &subset[1..] {
+            inter = inter.intersection(&members[i]);
+        }
+        if inter.is_void() {
+            continue;
+        }
+        if crate::Homology::reduced(&inter).homological_connectivity() != i32::MAX {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Homology;
+
+    fn s(vs: &[u32]) -> Simplex<u32> {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn nerve_of_two_overlapping_edges() {
+        let a = Complex::simplex(s(&[0, 1]));
+        let b = Complex::simplex(s(&[1, 2]));
+        let n = nerve(&[a, b]);
+        assert_eq!(n.f_vector(), vec![2, 1]); // an edge: they intersect
+        assert!(nerve_lemma_hypothesis(&[
+            Complex::simplex(s(&[0, 1])),
+            Complex::simplex(s(&[1, 2]))
+        ]));
+    }
+
+    #[test]
+    fn nerve_of_disjoint_members() {
+        let a = Complex::simplex(s(&[0, 1]));
+        let b = Complex::simplex(s(&[5, 6]));
+        let n = nerve(&[a, b]);
+        assert_eq!(n.f_vector(), vec![2]); // two isolated vertices
+    }
+
+    #[test]
+    fn nerve_skips_void_members() {
+        let a = Complex::simplex(s(&[0, 1]));
+        let n = nerve(&[a, Complex::new()]);
+        assert_eq!(n.vertex_count(), 1);
+        assert!(n.contains(&Simplex::vertex(0usize)));
+    }
+
+    #[test]
+    fn nerve_lemma_on_circle_cover() {
+        // cover the 6-cycle by three arcs of two edges each; adjacent
+        // arcs meet in a vertex, all three have empty intersection:
+        // nerve = boundary of a triangle ≃ S¹ — homotopy type preserved.
+        let arcs = [
+            Complex::from_facets([s(&[0, 1]), s(&[1, 2])]),
+            Complex::from_facets([s(&[2, 3]), s(&[3, 4])]),
+            Complex::from_facets([s(&[4, 5]), s(&[5, 0])]),
+        ];
+        assert!(nerve_lemma_hypothesis(&arcs));
+        let n = nerve(&arcs);
+        assert_eq!(n.f_vector(), vec![3, 3]); // hollow triangle
+        let hn = Homology::reduced(&n);
+        let union = arcs[0].union(&arcs[1]).union(&arcs[2]);
+        let hu = Homology::reduced(&union);
+        assert_eq!(hn.betti(1), hu.betti(1));
+        assert_eq!(hn.betti(0), hu.betti(0));
+    }
+
+    #[test]
+    fn nerve_lemma_hypothesis_fails_on_cyclic_intersection() {
+        // two members whose intersection is a circle: hypothesis fails
+        let circle = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]);
+        let cone_a = circle.join(&Complex::simplex(Simplex::vertex(10)));
+        let cone_b = circle.join(&Complex::simplex(Simplex::vertex(11)));
+        assert!(!nerve_lemma_hypothesis(&[cone_a, cone_b]));
+    }
+}

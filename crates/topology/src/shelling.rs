@@ -1,0 +1,213 @@
+//! Shellability: a combinatorial certificate stronger than homology.
+//!
+//! A pure `d`-dimensional complex is *shellable* if its facets can be
+//! ordered `F_1, ..., F_t` so that each `F_j ∩ (F_1 ∪ ... ∪ F_{j-1})` is
+//! a nonempty union of codimension-1 faces of `F_j`. A shellable
+//! `d`-complex is homotopy equivalent to a wedge of `d`-spheres, hence
+//! `(d-1)`-connected — a direct, homology-free certificate for the
+//! paper's Corollary 6 (pseudospheres are shellable: they are joins of
+//! discrete sets, and joins of shellable complexes are shellable).
+
+use crate::{Complex, Label, Simplex};
+
+/// Attempts to find a shelling order of a pure complex by greedy
+/// backtracking. Returns the order on success; `None` is inconclusive
+/// for large complexes but exact for the sizes used here (the search is
+/// exhaustive).
+///
+/// # Panics
+///
+/// Panics if the complex is not pure (shellability is defined for pure
+/// complexes).
+pub fn find_shelling<V: Label>(k: &Complex<V>) -> Option<Vec<Simplex<V>>> {
+    assert!(k.is_pure(), "shellability requires a pure complex");
+    let facets: Vec<Simplex<V>> = k.facets().cloned().collect();
+    if facets.is_empty() {
+        return None;
+    }
+    if facets.len() == 1 {
+        return Some(facets);
+    }
+    let d = facets[0].dim();
+    if d == 0 {
+        // a discrete set of ≥ 2 points is not shellable under the
+        // "nonempty intersection" convention
+        return None;
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(facets.len());
+    let mut used = vec![false; facets.len()];
+    if backtrack(&facets, &mut order, &mut used) {
+        Some(order.into_iter().map(|i| facets[i].clone()).collect())
+    } else {
+        None
+    }
+}
+
+fn backtrack<V: Label>(
+    facets: &[Simplex<V>],
+    order: &mut Vec<usize>,
+    used: &mut [bool],
+) -> bool {
+    if order.len() == facets.len() {
+        return true;
+    }
+    for i in 0..facets.len() {
+        if used[i] {
+            continue;
+        }
+        if order.is_empty() || attaches_cleanly(facets, order, i) {
+            used[i] = true;
+            order.push(i);
+            if backtrack(facets, order, used) {
+                return true;
+            }
+            order.pop();
+            used[i] = false;
+        }
+    }
+    false
+}
+
+/// Checks the shelling condition for appending `facets[i]` after `order`:
+/// the intersection with the union of earlier facets must be a nonempty
+/// union of codimension-1 faces of `facets[i]`.
+fn attaches_cleanly<V: Label>(facets: &[Simplex<V>], order: &[usize], i: usize) -> bool {
+    let f = &facets[i];
+    let mut any = false;
+    for &j in order {
+        let common = f.intersection(&facets[j]);
+        if common.is_empty() {
+            continue;
+        }
+        any = true;
+        if common.len() == f.len() {
+            return false; // duplicate facet (cannot happen with anti-chain)
+        }
+        if common.len() < f.len() - 1 {
+            // lower-dimensional intersection must be covered by some
+            // codim-1 common face with an earlier facet
+            let covered = order.iter().any(|&j2| {
+                let c2 = f.intersection(&facets[j2]);
+                c2.len() == f.len() - 1 && common.is_face_of(&c2)
+            });
+            if !covered {
+                return false;
+            }
+        }
+    }
+    any
+}
+
+/// `true` iff a shelling order exists (see [`find_shelling`]).
+pub fn is_shellable<V: Label>(k: &Complex<V>) -> bool {
+    find_shelling(k).is_some()
+}
+
+/// Verifies that a given facet order is a shelling of `k`.
+pub fn verify_shelling<V: Label>(k: &Complex<V>, order: &[Simplex<V>]) -> bool {
+    if order.len() != k.facet_count() || !k.is_pure() {
+        return false;
+    }
+    let facets: Vec<Simplex<V>> = order.to_vec();
+    for j in 1..facets.len() {
+        let prefix: Vec<usize> = (0..j).collect();
+        if !attaches_cleanly(&facets, &prefix, j) {
+            return false;
+        }
+    }
+    // all facets of k must appear exactly once
+    let mut sorted = facets.clone();
+    sorted.sort();
+    sorted.dedup();
+    sorted.len() == k.facet_count() && sorted.iter().all(|f| k.facets().any(|g| g == f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Homology;
+
+    fn s(vs: &[u32]) -> Simplex<u32> {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn single_simplex_shellable() {
+        let c = Complex::simplex(s(&[0, 1, 2]));
+        let order = find_shelling(&c).unwrap();
+        assert_eq!(order.len(), 1);
+        assert!(verify_shelling(&c, &order));
+    }
+
+    #[test]
+    fn boundary_of_tetrahedron_shellable() {
+        let c = Complex::simplex(s(&[0, 1, 2, 3])).skeleton(2);
+        let order = find_shelling(&c).expect("spheres are shellable");
+        assert_eq!(order.len(), 4);
+        assert!(verify_shelling(&c, &order));
+    }
+
+    #[test]
+    fn octahedron_shellable() {
+        // Figure 1's pseudosphere realization
+        let mut c = Complex::new();
+        for x in [0u32, 1] {
+            for y in [2u32, 3] {
+                for z in [4u32, 5] {
+                    c.add_simplex(s(&[x, y, z]));
+                }
+            }
+        }
+        assert_eq!(c.facet_count(), 8);
+        let order = find_shelling(&c).expect("pseudospheres are shellable");
+        assert!(verify_shelling(&c, &order));
+        // shellable d-complex ⇒ wedge of d-spheres ⇒ (d-1)-connected
+        let h = Homology::reduced(&c);
+        assert_eq!(h.homological_connectivity(), 1);
+    }
+
+    #[test]
+    fn disjoint_triangles_not_shellable() {
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[5, 6, 7])]);
+        assert!(!is_shellable(&c));
+    }
+
+    #[test]
+    fn two_triangles_sharing_vertex_not_shellable() {
+        // intersection is a vertex, not a codim-1 face of a 2-simplex
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[2, 3, 4])]);
+        assert!(!is_shellable(&c));
+    }
+
+    #[test]
+    fn two_triangles_sharing_edge_shellable() {
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[1, 2, 3])]);
+        let order = find_shelling(&c).unwrap();
+        assert!(verify_shelling(&c, &order));
+    }
+
+    #[test]
+    fn circle_shellable_as_graph() {
+        // 1-dimensional: a cycle is shellable (each edge attaches along
+        // one or both endpoints)
+        let c = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]);
+        assert!(is_shellable(&c));
+    }
+
+    #[test]
+    fn verify_rejects_bad_orders() {
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[1, 2, 3]), s(&[3, 4, 5])]);
+        // the true complex is not shellable (last facet attaches at a
+        // vertex); any order must fail
+        assert!(!is_shellable(&c));
+        let some_order: Vec<Simplex<u32>> = c.facets().cloned().collect();
+        assert!(!verify_shelling(&c, &some_order));
+    }
+
+    #[test]
+    #[should_panic(expected = "pure")]
+    fn impure_rejected() {
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[3, 4])]);
+        let _ = find_shelling(&c);
+    }
+}

@@ -1,0 +1,367 @@
+//! Abstract simplexes over an arbitrary ordered vertex-label type.
+//!
+//! Following §3 of the paper, an *n-simplex* is spanned by `n + 1`
+//! affinely-independent vertexes. In the abstract (combinatorial) setting
+//! used throughout this crate, a simplex is simply a finite set of distinct
+//! vertex labels; geometry is never needed, only the face lattice.
+
+use std::fmt;
+
+use crate::Label;
+
+/// An abstract simplex: a finite, sorted set of distinct vertex labels.
+///
+/// The *dimension* of a simplex with `m + 1` vertexes is `m`; the empty
+/// simplex has dimension `-1` (the paper's convention, §3). Vertexes are
+/// kept sorted, so two simplexes are equal iff they have the same vertex
+/// set, and the derived `Ord` is the lexicographic order on sorted vertex
+/// sequences (the order used for the lexicographic enumerations of §7–§8).
+///
+/// # Examples
+///
+/// ```
+/// use ps_topology::Simplex;
+///
+/// let s = Simplex::from_iter(["P", "Q", "R"]);
+/// assert_eq!(s.dim(), 2);
+/// assert_eq!(s.faces().count(), 8); // all subsets, including empty & s itself
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Simplex<V> {
+    verts: Vec<V>,
+}
+
+impl<V: Label> Simplex<V> {
+    /// Creates the empty simplex (dimension `-1`).
+    pub fn empty() -> Self {
+        Simplex { verts: Vec::new() }
+    }
+
+    /// Creates a 0-simplex from a single vertex.
+    pub fn vertex(v: V) -> Self {
+        Simplex { verts: vec![v] }
+    }
+
+    /// Creates a simplex from a list of vertex labels.
+    ///
+    /// Duplicate labels are merged; the result is sorted.
+    pub fn new(mut verts: Vec<V>) -> Self {
+        verts.sort();
+        verts.dedup();
+        Simplex { verts }
+    }
+
+    /// The dimension: number of vertexes minus one (`-1` for empty).
+    pub fn dim(&self) -> i32 {
+        self.verts.len() as i32 - 1
+    }
+
+    /// Number of vertexes.
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// `true` iff this is the empty simplex.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// The sorted vertex labels.
+    pub fn vertices(&self) -> &[V] {
+        &self.verts
+    }
+
+    /// `true` iff `v` is a vertex of this simplex.
+    pub fn contains(&self, v: &V) -> bool {
+        self.verts.binary_search(v).is_ok()
+    }
+
+    /// `true` iff `self` is a (not necessarily proper) face of `other`.
+    pub fn is_face_of(&self, other: &Simplex<V>) -> bool {
+        if self.verts.len() > other.verts.len() {
+            return false;
+        }
+        // Both sides sorted: a linear merge-style subset test.
+        let mut it = other.verts.iter();
+        'outer: for v in &self.verts {
+            for w in it.by_ref() {
+                match w.cmp(v) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// `true` iff `self` is a proper face of `other`.
+    pub fn is_proper_face_of(&self, other: &Simplex<V>) -> bool {
+        self.verts.len() < other.verts.len() && self.is_face_of(other)
+    }
+
+    /// The face obtained by removing vertex `v` (no-op if absent).
+    pub fn without(&self, v: &V) -> Simplex<V> {
+        Simplex {
+            verts: self.verts.iter().filter(|w| *w != v).cloned().collect(),
+        }
+    }
+
+    /// The face spanned by the vertexes satisfying `keep`.
+    pub fn restrict(&self, mut keep: impl FnMut(&V) -> bool) -> Simplex<V> {
+        Simplex {
+            verts: self.verts.iter().filter(|v| keep(v)).cloned().collect(),
+        }
+    }
+
+    /// The simplex spanned by the union of the two vertex sets.
+    pub fn union(&self, other: &Simplex<V>) -> Simplex<V> {
+        let mut verts = self.verts.clone();
+        verts.extend(other.verts.iter().cloned());
+        Simplex::new(verts)
+    }
+
+    /// The common face: intersection of the two vertex sets.
+    pub fn intersection(&self, other: &Simplex<V>) -> Simplex<V> {
+        Simplex {
+            verts: self
+                .verts
+                .iter()
+                .filter(|v| other.contains(v))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The simplex extended by one more vertex.
+    pub fn with(&self, v: V) -> Simplex<V> {
+        if self.contains(&v) {
+            return self.clone();
+        }
+        let mut verts = self.verts.clone();
+        let pos = verts.binary_search(&v).unwrap_err();
+        verts.insert(pos, v);
+        Simplex { verts }
+    }
+
+    /// Iterator over the codimension-1 faces (each obtained by dropping one
+    /// vertex), in the order of the dropped vertex. Empty for the empty
+    /// simplex.
+    pub fn boundary_faces(&self) -> impl Iterator<Item = Simplex<V>> + '_ {
+        (0..self.verts.len()).map(move |i| {
+            let mut verts = self.verts.clone();
+            verts.remove(i);
+            Simplex { verts }
+        })
+    }
+
+    /// Iterator over *all* faces (all subsets of the vertex set), including
+    /// the empty simplex and `self`. There are `2^(dim+1)` of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simplex has more than 63 vertexes (subset enumeration
+    /// uses a `u64` mask; protocol-complex simplexes are far smaller).
+    pub fn faces(&self) -> impl Iterator<Item = Simplex<V>> + '_ {
+        let k = self.verts.len();
+        assert!(k < 64, "face enumeration limited to < 64 vertexes");
+        (0..(1u64 << k)).map(move |mask| Simplex {
+            verts: self
+                .verts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, v)| v.clone())
+                .collect(),
+        })
+    }
+
+    /// Iterator over the faces of a given dimension `d`.
+    pub fn faces_of_dim(&self, d: i32) -> Vec<Simplex<V>> {
+        if d < -1 || d > self.dim() {
+            return Vec::new();
+        }
+        let k = (d + 1) as usize;
+        let mut out = Vec::new();
+        let mut idx: Vec<usize> = (0..k).collect();
+        if k == 0 {
+            return vec![Simplex::empty()];
+        }
+        loop {
+            out.push(Simplex {
+                verts: idx.iter().map(|&i| self.verts[i].clone()).collect(),
+            });
+            // next combination
+            let n = self.verts.len();
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if idx[i] != i + n - k {
+                    break;
+                }
+                if i == 0 {
+                    return out;
+                }
+            }
+            idx[i] += 1;
+            for j in i + 1..k {
+                idx[j] = idx[j - 1] + 1;
+            }
+        }
+    }
+
+    /// Relabels every vertex through `f`, keeping the result a valid
+    /// simplex (labels produced by `f` must be distinct or they merge).
+    pub fn map<W: Label>(&self, f: impl FnMut(&V) -> W) -> Simplex<W> {
+        Simplex::new(self.verts.iter().map(f).collect())
+    }
+}
+
+impl<V: Label> Default for Simplex<V> {
+    fn default() -> Self {
+        Simplex::empty()
+    }
+}
+
+impl<V: Label> FromIterator<V> for Simplex<V> {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Simplex::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a, V: Label> IntoIterator for &'a Simplex<V> {
+    type Item = &'a V;
+    type IntoIter = std::slice::Iter<'a, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.verts.iter()
+    }
+}
+
+impl<V: Label> fmt::Debug for Simplex<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.verts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vs: &[u32]) -> Simplex<u32> {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn empty_simplex_has_dim_minus_one() {
+        let e = Simplex::<u32>::empty();
+        assert_eq!(e.dim(), -1);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let t = Simplex::new(vec![3u32, 1, 2, 3, 1]);
+        assert_eq!(t.vertices(), &[1, 2, 3]);
+        assert_eq!(t.dim(), 2);
+    }
+
+    #[test]
+    fn face_relation() {
+        let t = s(&[1, 2, 3]);
+        assert!(s(&[1, 3]).is_face_of(&t));
+        assert!(s(&[1, 3]).is_proper_face_of(&t));
+        assert!(t.is_face_of(&t));
+        assert!(!t.is_proper_face_of(&t));
+        assert!(!s(&[1, 4]).is_face_of(&t));
+        assert!(Simplex::empty().is_face_of(&t));
+    }
+
+    #[test]
+    fn boundary_faces_of_triangle() {
+        let t = s(&[1, 2, 3]);
+        let b: Vec<_> = t.boundary_faces().collect();
+        assert_eq!(b, vec![s(&[2, 3]), s(&[1, 3]), s(&[1, 2])]);
+    }
+
+    #[test]
+    fn all_faces_count() {
+        let t = s(&[1, 2, 3]);
+        assert_eq!(t.faces().count(), 8);
+        assert_eq!(t.faces_of_dim(1).len(), 3);
+        assert_eq!(t.faces_of_dim(0).len(), 3);
+        assert_eq!(t.faces_of_dim(-1), vec![Simplex::empty()]);
+        assert_eq!(t.faces_of_dim(2), vec![t.clone()]);
+        assert!(t.faces_of_dim(3).is_empty());
+    }
+
+    #[test]
+    fn faces_of_dim_matches_faces() {
+        let t = s(&[1, 2, 3, 4, 5]);
+        for d in -1..=4 {
+            let via_enum: Vec<_> = t.faces().filter(|f| f.dim() == d).collect();
+            let direct = t.faces_of_dim(d);
+            assert_eq!(via_enum.len(), direct.len(), "dim {d}");
+            for f in direct {
+                assert!(via_enum.contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = s(&[1, 2, 3]);
+        let b = s(&[2, 3, 4]);
+        assert_eq!(a.union(&b), s(&[1, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), s(&[2, 3]));
+        assert_eq!(a.intersection(&s(&[9])), Simplex::empty());
+    }
+
+    #[test]
+    fn without_and_with() {
+        let a = s(&[1, 2, 3]);
+        assert_eq!(a.without(&2), s(&[1, 3]));
+        assert_eq!(a.without(&9), a);
+        assert_eq!(a.with(4), s(&[1, 2, 3, 4]));
+        assert_eq!(a.with(2), a);
+    }
+
+    #[test]
+    fn restrict_keeps_predicate() {
+        let a = s(&[1, 2, 3, 4]);
+        assert_eq!(a.restrict(|v| v % 2 == 0), s(&[2, 4]));
+    }
+
+    #[test]
+    fn map_relabels() {
+        let a = s(&[1, 2, 3]);
+        assert_eq!(a.map(|v| v * 10), s(&[10, 20, 30]));
+        // collisions merge
+        assert_eq!(a.map(|_| 7u32).len(), 1);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(s(&[1]) < s(&[1, 2]));
+        assert!(s(&[1, 2]) < s(&[1, 3]));
+        assert!(s(&[1, 3]) < s(&[2]));
+        assert!(Simplex::<u32>::empty() < s(&[1]));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", s(&[1, 2])), "⟨1, 2⟩");
+        assert_eq!(format!("{:?}", Simplex::<u32>::empty()), "⟨⟩");
+    }
+}

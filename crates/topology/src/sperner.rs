@@ -1,0 +1,240 @@
+//! Sperner labelings and Sperner's Lemma.
+//!
+//! The paper's Theorem 9 derives k-set-agreement impossibility from
+//! Sperner's Lemma [Lef49, Lemma 5.5]: if a subdivided `n`-simplex is
+//! labeled with colors `0..=n` such that each subdivision vertex receives
+//! a color of a vertex of its carrier, then an odd number of facets are
+//! *panchromatic* (carry all `n+1` colors) — in particular at least one.
+//!
+//! Here a *Sperner instance* is any complex together with a coloring and a
+//! carrier assignment; the lemma checker verifies the Sperner condition
+//! and counts panchromatic facets. Decision maps for k-set agreement are
+//! exactly colorings violating "some facet is panchromatic" when values
+//! play the role of colors — the bridge exploited by `ps-agreement`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Complex, Label, Simplex};
+
+/// A coloring of a complex's vertices together with per-vertex carriers.
+#[derive(Clone)]
+pub struct SpernerInstance<V> {
+    complex: Complex<V>,
+    coloring: BTreeMap<V, usize>,
+    carriers: BTreeMap<V, BTreeSet<usize>>,
+}
+
+/// Errors from building or checking a Sperner instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpernerError {
+    /// A vertex of the complex has no color.
+    MissingColor,
+    /// A vertex of the complex has no carrier.
+    MissingCarrier,
+    /// A vertex's color is not a color of its carrier.
+    ConditionViolated,
+}
+
+impl std::fmt::Display for SpernerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            SpernerError::MissingColor => "a vertex has no color assigned",
+            SpernerError::MissingCarrier => "a vertex has no carrier assigned",
+            SpernerError::ConditionViolated => "a vertex's color is not a color of its carrier",
+        };
+        write!(f, "{msg}")
+    }
+}
+
+impl std::error::Error for SpernerError {}
+
+impl<V: Label> std::fmt::Debug for SpernerInstance<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpernerInstance")
+            .field("complex", &self.complex)
+            .field("coloring", &self.coloring)
+            .field("carriers", &self.carriers)
+            .finish()
+    }
+}
+
+impl<V: Label> SpernerInstance<V> {
+    /// Builds an instance; colors and carriers must cover every vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpernerError::MissingColor`] / [`SpernerError::MissingCarrier`]
+    /// if any vertex of the complex lacks an entry.
+    pub fn new(
+        complex: Complex<V>,
+        coloring: BTreeMap<V, usize>,
+        carriers: BTreeMap<V, BTreeSet<usize>>,
+    ) -> Result<Self, SpernerError> {
+        for v in complex.vertex_set() {
+            if !coloring.contains_key(&v) {
+                return Err(SpernerError::MissingColor);
+            }
+            if !carriers.contains_key(&v) {
+                return Err(SpernerError::MissingCarrier);
+            }
+        }
+        Ok(SpernerInstance {
+            complex,
+            coloring,
+            carriers,
+        })
+    }
+
+    /// The underlying complex.
+    pub fn complex(&self) -> &Complex<V> {
+        &self.complex
+    }
+
+    /// Checks the Sperner condition: every vertex's color belongs to its
+    /// carrier's color set.
+    ///
+    /// # Errors
+    ///
+    /// [`SpernerError::ConditionViolated`] if some vertex is miscolored.
+    pub fn check_condition(&self) -> Result<(), SpernerError> {
+        for (v, color) in &self.coloring {
+            if let Some(carrier) = self.carriers.get(v) {
+                if !carrier.contains(color) {
+                    return Err(SpernerError::ConditionViolated);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of colors appearing on a simplex.
+    pub fn colors_of(&self, s: &Simplex<V>) -> BTreeSet<usize> {
+        s.vertices()
+            .iter()
+            .filter_map(|v| self.coloring.get(v).copied())
+            .collect()
+    }
+
+    /// Counts facets whose vertices carry all colors of `palette`.
+    pub fn count_panchromatic(&self, palette: &BTreeSet<usize>) -> usize {
+        self.complex
+            .facets()
+            .filter(|f| &self.colors_of(f) == palette)
+            .count()
+    }
+
+    /// Verifies Sperner's Lemma for a subdivided `n`-simplex instance:
+    /// the number of panchromatic facets is odd. Returns the count.
+    pub fn verify_lemma(&self, palette: &BTreeSet<usize>) -> (usize, bool) {
+        let count = self.count_panchromatic(palette);
+        (count, count % 2 == 1)
+    }
+}
+
+/// Builds the canonical Sperner instance over the barycentric subdivision
+/// of the `n`-simplex with vertices `0..=n`:
+/// subdivision vertex `σ` has carrier `{colors of σ}` and is colored by
+/// `pick(σ)` (which must choose an element of `σ`).
+pub fn subdivision_instance(
+    n: usize,
+    mut pick: impl FnMut(&Simplex<usize>) -> usize,
+) -> SpernerInstance<Simplex<usize>> {
+    let base = Complex::simplex(Simplex::from_iter(0..=n));
+    let sd = crate::barycentric_subdivision(&base);
+    let mut coloring = BTreeMap::new();
+    let mut carriers = BTreeMap::new();
+    for v in sd.vertex_set() {
+        let carrier: BTreeSet<usize> = v.vertices().iter().copied().collect();
+        let color = pick(&v);
+        assert!(
+            carrier.contains(&color),
+            "pick() must choose a vertex of the carrier"
+        );
+        coloring.insert(v.clone(), color);
+        carriers.insert(v, carrier);
+    }
+    SpernerInstance::new(sd, coloring, carriers).expect("complete by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_pick_on_segment() {
+        let inst = subdivision_instance(1, |s| *s.vertices().iter().min().unwrap());
+        inst.check_condition().unwrap();
+        let palette: BTreeSet<usize> = [0, 1].into_iter().collect();
+        let (count, odd) = inst.verify_lemma(&palette);
+        assert!(odd, "count = {count}");
+    }
+
+    #[test]
+    fn min_pick_on_triangle() {
+        let inst = subdivision_instance(2, |s| *s.vertices().iter().min().unwrap());
+        inst.check_condition().unwrap();
+        let palette: BTreeSet<usize> = [0, 1, 2].into_iter().collect();
+        let (count, odd) = inst.verify_lemma(&palette);
+        assert!(odd, "count = {count}");
+    }
+
+    #[test]
+    fn max_pick_on_triangle() {
+        let inst = subdivision_instance(2, |s| *s.vertices().iter().max().unwrap());
+        inst.check_condition().unwrap();
+        let palette: BTreeSet<usize> = [0, 1, 2].into_iter().collect();
+        let (_, odd) = inst.verify_lemma(&palette);
+        assert!(odd);
+    }
+
+    #[test]
+    fn alternating_pick_on_tetrahedron() {
+        let inst = subdivision_instance(3, |s| {
+            let vs = s.vertices();
+            vs[vs.len() / 2]
+        });
+        inst.check_condition().unwrap();
+        let palette: BTreeSet<usize> = (0..=3).collect();
+        let (count, odd) = inst.verify_lemma(&palette);
+        assert!(odd, "count = {count}");
+    }
+
+    #[test]
+    fn condition_violation_detected() {
+        let base = Complex::simplex(Simplex::from_iter(0usize..=1));
+        let sd = crate::barycentric_subdivision(&base);
+        let mut coloring = BTreeMap::new();
+        let mut carriers = BTreeMap::new();
+        for v in sd.vertex_set() {
+            let carrier: BTreeSet<usize> = v.vertices().iter().copied().collect();
+            coloring.insert(v.clone(), 0usize); // color everything 0
+            carriers.insert(v, carrier);
+        }
+        let inst = SpernerInstance::new(sd, coloring, carriers).unwrap();
+        // vertex {1} has carrier {1} but color 0
+        assert_eq!(inst.check_condition(), Err(SpernerError::ConditionViolated));
+    }
+
+    #[test]
+    fn missing_color_detected() {
+        let base = Complex::simplex(Simplex::from_iter(0usize..=1));
+        let sd = crate::barycentric_subdivision(&base);
+        let err = SpernerInstance::new(sd, BTreeMap::new(), BTreeMap::new());
+        assert_eq!(err.err(), Some(SpernerError::MissingColor));
+    }
+
+    #[test]
+    fn colors_of_counts_distinct() {
+        let inst = subdivision_instance(2, |s| *s.vertices().iter().min().unwrap());
+        let facet = inst.complex().facets().next().unwrap().clone();
+        assert!(!inst.colors_of(&facet).is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            SpernerError::ConditionViolated.to_string(),
+            "a vertex's color is not a color of its carrier"
+        );
+    }
+}

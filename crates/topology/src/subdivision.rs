@@ -1,0 +1,146 @@
+//! Barycentric subdivision with carriers.
+//!
+//! The vertices of the barycentric subdivision `sd(K)` are the nonempty
+//! simplexes of `K`; its simplexes are chains `σ_0 ⊊ σ_1 ⊊ ...`. Each
+//! subdivision vertex `σ` has *carrier* `σ` in `K`. Sperner's Lemma (used
+//! by the paper's Theorem 9) is stated over such subdivisions; see
+//! [`crate::sperner`].
+
+use crate::{Complex, Label, Simplex};
+
+/// Computes the barycentric subdivision of `k`.
+///
+/// The result's vertex type is `Simplex<V>`: the vertex `σ` of `sd(K)`
+/// *is* the simplex `σ` of `K` (its own carrier). Facets of `sd(K)` are
+/// the maximal chains of faces of facets of `K`; a facet of dimension `d`
+/// contributes `(d+1)!` chains.
+///
+/// # Examples
+///
+/// ```
+/// use ps_topology::{Complex, Simplex, barycentric_subdivision};
+///
+/// let triangle = Complex::simplex(Simplex::from_iter([0, 1, 2]));
+/// let sd = barycentric_subdivision(&triangle);
+/// assert_eq!(sd.facet_count(), 6);        // 3! chains
+/// assert_eq!(sd.vertex_count(), 7);       // 3 + 3 + 1 faces
+/// assert_eq!(sd.euler_characteristic(), 1);
+/// ```
+pub fn barycentric_subdivision<V: Label>(k: &Complex<V>) -> Complex<Simplex<V>> {
+    let mut out = Complex::new();
+    for facet in k.facets() {
+        let verts = facet.vertices().to_vec();
+        let mut acc = Vec::new();
+        for_each_permutation(&verts, &mut acc, &mut |perm: &[V]| {
+            let mut chain = Vec::with_capacity(perm.len());
+            let mut prefix = Vec::new();
+            for v in perm {
+                prefix.push(v.clone());
+                chain.push(Simplex::new(prefix.clone()));
+            }
+            out.add_simplex(Simplex::new(chain));
+        });
+    }
+    out
+}
+
+/// Calls `f` once per permutation of `rest` (order: lexicographic on the
+/// choice sequence). `acc` is scratch space and must start empty.
+fn for_each_permutation<V: Label>(rest: &[V], acc: &mut Vec<V>, f: &mut impl FnMut(&[V])) {
+    if rest.is_empty() {
+        f(acc);
+        return;
+    }
+    for i in 0..rest.len() {
+        let mut remaining: Vec<V> = Vec::with_capacity(rest.len() - 1);
+        remaining.extend_from_slice(&rest[..i]);
+        remaining.extend_from_slice(&rest[i + 1..]);
+        acc.push(rest[i].clone());
+        for_each_permutation(&remaining, acc, f);
+        acc.pop();
+    }
+}
+
+/// The carrier of a subdivision vertex: itself, as a simplex of the
+/// original complex (identity by construction; provided for readability
+/// at call sites).
+pub fn carrier<V: Label>(sd_vertex: &Simplex<V>) -> &Simplex<V> {
+    sd_vertex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Homology;
+
+    fn s(vs: &[u32]) -> Simplex<u32> {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn sd_of_edge() {
+        let e = Complex::simplex(s(&[0, 1]));
+        let sd = barycentric_subdivision(&e);
+        // two edges sharing the barycenter
+        assert_eq!(sd.f_vector(), vec![3, 2]);
+        assert_eq!(sd.euler_characteristic(), 1);
+    }
+
+    #[test]
+    fn sd_of_triangle_counts() {
+        let t = Complex::simplex(s(&[0, 1, 2]));
+        let sd = barycentric_subdivision(&t);
+        assert_eq!(sd.facet_count(), 6);
+        assert_eq!(sd.vertex_count(), 7);
+        assert_eq!(sd.f_vector(), vec![7, 12, 6]);
+    }
+
+    #[test]
+    fn sd_preserves_homology_of_circle() {
+        let circle = Complex::simplex(s(&[0, 1, 2])).skeleton(1);
+        let sd = barycentric_subdivision(&circle);
+        let h = Homology::reduced(&sd);
+        assert_eq!(h.betti(0), 0);
+        assert_eq!(h.betti(1), 1);
+        assert_eq!(sd.f_vector(), vec![6, 6]); // hexagon
+    }
+
+    #[test]
+    fn sd_preserves_homology_of_sphere() {
+        let sphere = Complex::simplex(s(&[0, 1, 2, 3])).skeleton(2);
+        let sd = barycentric_subdivision(&sphere);
+        let h = Homology::reduced(&sd);
+        assert_eq!(h.betti(2), 1);
+        assert_eq!(h.betti(1), 0);
+        assert_eq!(sd.euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn sd_facet_count_factorial() {
+        let t = Complex::simplex(s(&[0, 1, 2, 3]));
+        let sd = barycentric_subdivision(&t);
+        assert_eq!(sd.facet_count(), 24); // 4!
+    }
+
+    #[test]
+    fn sd_of_void_is_void() {
+        let sd = barycentric_subdivision(&Complex::<u32>::new());
+        assert!(sd.is_void());
+    }
+
+    #[test]
+    fn sd_of_mixed_dimension_complex() {
+        // triangle with a pendant edge
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[2, 3])]);
+        let sd = barycentric_subdivision(&c);
+        // contractible before and after
+        assert_eq!(sd.euler_characteristic(), 1);
+        assert!(Homology::reduced(&sd).homological_connectivity() == i32::MAX);
+    }
+
+    #[test]
+    fn carrier_is_identity() {
+        let v = s(&[1, 2]);
+        assert_eq!(carrier(&v), &v);
+    }
+}

@@ -1,0 +1,229 @@
+//! SVG rendering of small complexes: a deterministic force-directed
+//! layout of the 1-skeleton with translucent 2-simplex fills — the
+//! closest machine-generated equivalent of the paper's hand-drawn
+//! Figures 1–3.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Complex, Label};
+
+/// Layout/render options.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SvgOptions {
+    /// Canvas width and height in pixels.
+    pub size: f64,
+    /// Force-layout iterations.
+    pub iterations: usize,
+    /// Vertex circle radius.
+    pub vertex_radius: f64,
+    /// Whether to print vertex labels.
+    pub labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            size: 480.0,
+            iterations: 300,
+            vertex_radius: 4.0,
+            labels: true,
+        }
+    }
+}
+
+/// Renders the complex to an SVG string.
+///
+/// The layout is a deterministic spring embedding: vertices start on a
+/// golden-angle circle (so runs are reproducible) and relax under
+/// spring forces on edges and inverse-square repulsion between all
+/// pairs. Adequate for the ≤ 50-vertex complexes of the paper's figures;
+/// for bigger complexes it still terminates, just less readably.
+pub fn to_svg<V: Label>(k: &Complex<V>, title: &str, opts: &SvgOptions) -> String {
+    let verts: Vec<V> = k.vertex_set().into_iter().collect();
+    let n = verts.len();
+    let index: BTreeMap<&V, usize> = verts.iter().enumerate().map(|(i, v)| (v, i)).collect();
+    let edges: Vec<(usize, usize)> = k
+        .simplices_of_dim(1)
+        .into_iter()
+        .map(|e| (index[&e.vertices()[0]], index[&e.vertices()[1]]))
+        .collect();
+    let triangles: Vec<[usize; 3]> = k
+        .simplices_of_dim(2)
+        .into_iter()
+        .map(|t| {
+            let vs = t.vertices();
+            [index[&vs[0]], index[&vs[1]], index[&vs[2]]]
+        })
+        .collect();
+
+    // deterministic initial placement: golden-angle circle
+    let golden = std::f64::consts::PI * (3.0 - 5f64.sqrt());
+    let mut pos: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let r = 0.5 + 0.5 * (i as f64 / n.max(1) as f64);
+            let a = golden * i as f64;
+            (r * a.cos(), r * a.sin())
+        })
+        .collect();
+
+    // spring relaxation
+    let spring_len = 1.0 / (n as f64).sqrt().max(1.0) * 2.0;
+    for _ in 0..opts.iterations {
+        let mut force = vec![(0.0f64, 0.0f64); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = pos[j].0 - pos[i].0;
+                let dy = pos[j].1 - pos[i].1;
+                let d2 = (dx * dx + dy * dy).max(1e-6);
+                let rep = 0.02 / d2;
+                let d = d2.sqrt();
+                force[i].0 -= rep * dx / d;
+                force[i].1 -= rep * dy / d;
+                force[j].0 += rep * dx / d;
+                force[j].1 += rep * dy / d;
+            }
+        }
+        for &(a, b) in &edges {
+            let dx = pos[b].0 - pos[a].0;
+            let dy = pos[b].1 - pos[a].1;
+            let d = (dx * dx + dy * dy).sqrt().max(1e-6);
+            let pull = 0.05 * (d - spring_len);
+            force[a].0 += pull * dx / d;
+            force[a].1 += pull * dy / d;
+            force[b].0 -= pull * dx / d;
+            force[b].1 -= pull * dy / d;
+        }
+        for i in 0..n {
+            pos[i].0 += force[i].0.clamp(-0.05, 0.05);
+            pos[i].1 += force[i].1.clamp(-0.05, 0.05);
+        }
+    }
+
+    // normalize to canvas
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &pos {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let pad = 32.0;
+    let scale_x = (opts.size - 2.0 * pad) / (max_x - min_x).max(1e-6);
+    let scale_y = (opts.size - 2.0 * pad) / (max_y - min_y).max(1e-6);
+    let scale = scale_x.min(scale_y);
+    let px = |p: (f64, f64)| -> (f64, f64) {
+        (
+            pad + (p.0 - min_x) * scale,
+            pad + (p.1 - min_y) * scale,
+        )
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{0}" height="{0}" viewBox="0 0 {0} {0}">"#,
+        opts.size
+    );
+    let _ = writeln!(out, "  <title>{title}</title>");
+    let _ = writeln!(
+        out,
+        r#"  <rect width="100%" height="100%" fill="white"/>"#
+    );
+    for t in &triangles {
+        let (a, b, c) = (px(pos[t[0]]), px(pos[t[1]]), px(pos[t[2]]));
+        let _ = writeln!(
+            out,
+            r##"  <polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="#7fa8d9" fill-opacity="0.25" stroke="none"/>"##,
+            a.0, a.1, b.0, b.1, c.0, c.1
+        );
+    }
+    for &(a, b) in &edges {
+        let (pa, pb) = (px(pos[a]), px(pos[b]));
+        let _ = writeln!(
+            out,
+            r##"  <line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#333" stroke-width="1.2"/>"##,
+            pa.0, pa.1, pb.0, pb.1
+        );
+    }
+    for (i, v) in verts.iter().enumerate() {
+        let p = px(pos[i]);
+        let _ = writeln!(
+            out,
+            r##"  <circle cx="{:.1}" cy="{:.1}" r="{}" fill="#d95f52" stroke="#333"/>"##,
+            p.0, p.1, opts.vertex_radius
+        );
+        if opts.labels {
+            let _ = writeln!(
+                out,
+                r#"  <text x="{:.1}" y="{:.1}" font-size="10" font-family="monospace">{}</text>"#,
+                p.0 + opts.vertex_radius + 2.0,
+                p.1 - 2.0,
+                svg_escape(&format!("{v:?}"))
+            );
+        }
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+fn svg_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simplex;
+
+    fn sphere() -> Complex<u32> {
+        Complex::simplex(Simplex::from_iter(0u32..4)).skeleton(2)
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = to_svg(&sphere(), "S2", &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polygon").count(), 4);
+        assert_eq!(svg.matches("<line").count(), 6);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains("<title>S2</title>"));
+    }
+
+    #[test]
+    fn svg_deterministic() {
+        let a = to_svg(&sphere(), "x", &SvgOptions::default());
+        let b = to_svg(&sphere(), "x", &SvgOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_toggle() {
+        let with = to_svg(&sphere(), "x", &SvgOptions::default());
+        let without = to_svg(
+            &sphere(),
+            "x",
+            &SvgOptions {
+                labels: false,
+                ..SvgOptions::default()
+            },
+        );
+        assert!(with.contains("<text"));
+        assert!(!without.contains("<text"));
+    }
+
+    #[test]
+    fn escaping() {
+        let c = Complex::simplex(Simplex::vertex("<&>".to_string()));
+        let svg = to_svg(&c, "esc", &SvgOptions::default());
+        assert!(svg.contains("&lt;&amp;&gt;"));
+    }
+
+    #[test]
+    fn single_vertex_no_nan() {
+        let c = Complex::simplex(Simplex::vertex(0u32));
+        let svg = to_svg(&c, "pt", &SvgOptions::default());
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates the paper's Figures 1–3 as DOT / OFF / text files.
+//!
+//! ```bash
+//! cargo run --example figures [output-dir]     # default: ./figures-out
+//! ```
+
+use pseudosphere::core::{process_simplex, Pseudosphere};
+use pseudosphere::models::{input_simplex, SyncModel};
+use pseudosphere::topology::export::{ascii_summary, to_dot, to_off};
+use pseudosphere::topology::svg::{to_svg, SvgOptions};
+use pseudosphere::topology::{Complex, Label};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+fn emit<V: Label>(dir: &Path, name: &str, title: &str, c: &Complex<V>) {
+    fs::write(dir.join(format!("{name}.dot")), to_dot(c, title)).expect("write dot");
+    fs::write(dir.join(format!("{name}.off")), to_off(c)).expect("write off");
+    fs::write(dir.join(format!("{name}.txt")), ascii_summary(c, title)).expect("write txt");
+    fs::write(
+        dir.join(format!("{name}.svg")),
+        to_svg(c, title, &SvgOptions::default()),
+    )
+    .expect("write svg");
+    println!("{}", ascii_summary(c, title));
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "figures-out".to_string());
+    let dir = Path::new(&dir);
+    fs::create_dir_all(dir).expect("create output dir");
+
+    // ── Figure 1: the three-process binary pseudosphere (an S²) ──
+    let binary: BTreeSet<u8> = [0, 1].into_iter().collect();
+    let fig1 = Pseudosphere::uniform(process_simplex(3), binary.clone()).realize();
+    emit(dir, "figure1", "Figure 1: ψ(S²; {0,1}) — octahedron ≃ S²", &fig1);
+
+    // ── Figure 2: ψ(S¹;{0,1}) and ψ(S¹;{0,1,2}) ──
+    let fig2a = Pseudosphere::uniform(process_simplex(2), binary).realize();
+    emit(dir, "figure2a", "Figure 2a: ψ(S¹; {0,1}) — a 4-cycle ≃ S¹", &fig2a);
+    let ternary: BTreeSet<u8> = [0, 1, 2].into_iter().collect();
+    let fig2b = Pseudosphere::uniform(process_simplex(2), ternary).realize();
+    emit(
+        dir,
+        "figure2b",
+        "Figure 2b: ψ(S¹; {0,1,2}) — K_{3,3} ≃ wedge of 4 circles",
+        &fig2b,
+    );
+
+    // ── Figure 3: one-round synchronous 3-process complex, ≤ 1 failure ──
+    let model = SyncModel::new(3, 1, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let union = model.one_round_union(&input);
+    println!("Figure 3 members (union of pseudospheres):");
+    for m in union.members() {
+        println!("  ∪ {m:?}");
+    }
+    let fig3 = union.realize();
+    emit(
+        dir,
+        "figure3",
+        "Figure 3: S¹(S²) with ≤1 failure — triangle + three squares",
+        &fig3,
+    );
+
+    println!("wrote figures to {}", dir.display());
+}

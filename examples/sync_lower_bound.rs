@@ -1,0 +1,61 @@
+//! Theorem 18: synchronous k-set agreement needs ⌊f/k⌋ + 1 rounds.
+//!
+//! Two independent methods per row:
+//!  * solver — exhaustive decision-map search on S^r (lower bound side);
+//!  * FloodSet — the matching protocol simulated against randomized
+//!    crash adversaries (upper bound side).
+//!
+//! ```bash
+//! cargo run --release --example sync_lower_bound
+//! ```
+
+use pseudosphere::agreement::{sync_solvable, FloodSet};
+use pseudosphere::runtime::{RandomAdversary, SyncExecutor};
+
+fn floodset_agrees(n_plus_1: usize, f: usize, k: usize, rounds: usize, seeds: u64) -> bool {
+    let proto = FloodSet::new(rounds);
+    (0..seeds).all(|seed| {
+        let exec = SyncExecutor::new(proto, n_plus_1, f);
+        let mut adv = RandomAdversary::new(seed, f, 0.7);
+        let inputs: Vec<u64> = (0..n_plus_1 as u64).collect();
+        let trace = exec.run(&inputs, &mut adv, rounds + 1);
+        trace.satisfies_k_agreement(k) && trace.satisfies_termination(n_plus_1)
+    })
+}
+
+fn main() {
+    println!("Theorem 18: synchronous k-set agreement round sweep");
+    println!(
+        "{:>4} {:>3} {:>3} {:>3} {:>6} {:>12} {:>18}",
+        "n+1", "f", "k", "r", "bound", "solver", "FloodSet(200 adv)"
+    );
+
+    let instances: [(usize, usize, usize); 4] = [(3, 1, 1), (4, 1, 1), (3, 1, 2), (3, 2, 2)];
+    for (n_plus_1, f, k) in instances {
+        let n = n_plus_1 - 1;
+        let bound = if n > f + k { f / k + 1 } else { f / k };
+        for r in 0..=(f / k + 1) {
+            let solver = sync_solvable(k, f, n_plus_1, f.min(k.max(1)), r);
+            let fs = if r >= 1 {
+                if floodset_agrees(n_plus_1, f, k, r, 200) {
+                    "agrees"
+                } else {
+                    "VIOLATES"
+                }
+            } else {
+                "-"
+            };
+            println!(
+                "{n_plus_1:>4} {f:>3} {k:>3} {r:>3} {bound:>6} {:>12} {fs:>18}",
+                if solver.solvable { "map exists" } else { "no map" },
+            );
+        }
+        println!();
+    }
+    println!("reading: the 'bound' column is Theorem 18's guarantee (⌊f/k⌋+1 when");
+    println!("n > f+k, else the weaker ⌊f/k⌋). The solver staircase flips from");
+    println!("'no map' to 'map exists' at exactly ⌊f/k⌋+1 rounds — in the n ≤ f+k");
+    println!("consensus rows the solver proves the stronger classical f+1 bound");
+    println!("that Theorem 18's degenerate case leaves open. FloodSet only");
+    println!("'agrees' from that flip point upward.");
+}

@@ -1,0 +1,73 @@
+//! The protocol operators of §6–§8 really are carrier maps: monotone,
+//! and strict where the paper's Mayer–Vietoris arguments need it.
+
+use pseudosphere::core::ProcessId;
+use pseudosphere::models::{input_simplex, AsyncModel, IisModel, SyncModel};
+use pseudosphere::topology::{CarrierMap, Complex};
+
+#[test]
+fn async_one_round_is_a_monotone_carrier_map() {
+    let model = AsyncModel::new(3, 2); // f = n: defined on all faces
+    let input = input_simplex(&[0u8, 1, 2]);
+    let phi = model.carrier_map(&input, 1);
+    assert!(phi.is_monotone());
+    assert!(phi.is_strict());
+    assert_eq!(phi.total_image(), model.protocol_complex(&input, 1));
+}
+
+#[test]
+fn async_with_threshold_is_still_monotone() {
+    // f = 1: faces below the participation threshold map to void;
+    // monotonicity still holds (void ⊆ anything).
+    let model = AsyncModel::new(3, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let domain = Complex::simplex(input);
+    let phi = CarrierMap::from_fn(&domain, |s| model.protocol_complex(s, 1));
+    assert!(phi.is_monotone());
+}
+
+#[test]
+fn sync_one_round_is_a_monotone_carrier_map() {
+    // faces = initial crashes; budget shrinks accordingly
+    let input = input_simplex(&[0u8, 1, 2]);
+    let domain = Complex::simplex(input);
+    let phi = CarrierMap::from_fn(&domain, |s| {
+        let initial_crashes = 3 - s.len();
+        if initial_crashes > 1 {
+            return Complex::new();
+        }
+        let model = SyncModel::new(3, 1, 1 - initial_crashes);
+        model.protocol_complex(s, 1)
+    });
+    assert!(phi.is_monotone());
+}
+
+#[test]
+fn iis_one_round_is_a_monotone_carrier_map() {
+    let model = IisModel::new();
+    let input = input_simplex(&[0u8, 1, 2]);
+    let domain = Complex::simplex(input);
+    let phi = CarrierMap::from_fn(&domain, |s| model.protocol_complex(s, 1));
+    assert!(phi.is_monotone());
+    assert!(phi.is_strict());
+}
+
+#[test]
+fn two_round_async_vertices_factor_through_one_round() {
+    // the inductive definition: every A² vertex's embedded previous-round
+    // state is an A¹ vertex (the carrier-map composition structure).
+    let model = AsyncModel::new(2, 1);
+    let input = input_simplex(&[0u8, 1]);
+    let domain = Complex::simplex(input.clone());
+    let phi1 = CarrierMap::from_fn(&domain, |s| model.protocol_complex(s, 1));
+    let inner = phi1.total_image();
+    let direct = model.protocol_complex(&input, 2);
+    for f in direct.facets() {
+        for v in f.vertices() {
+            assert_eq!(v.round(), 2);
+            let prev = v.heard_from(v.process()).unwrap();
+            assert!(inner.vertex_set().contains(prev), "{prev:?}");
+        }
+    }
+    let _ = ProcessId(0);
+}

@@ -1,0 +1,100 @@
+//! Cross-validation: the discrete-event simulator's exhaustively
+//! enumerated executions regenerate the combinatorial protocol complexes
+//! of `ps-models` — Lemmas 11 and 14 (and their r-round iterations) made
+//! executable from *both* sides.
+//!
+//! Experiments E3 and E7 of EXPERIMENTS.md.
+
+use pseudosphere::core::process_set;
+use pseudosphere::models::{input_simplex, AsyncModel, SyncModel};
+use pseudosphere::runtime::{enumerate_async_views, enumerate_sync_views};
+use pseudosphere::topology::are_isomorphic;
+
+#[test]
+fn async_one_round_simulator_matches_model() {
+    // E7 / Lemma 11, n+1 = 3, f = 1
+    let model = AsyncModel::new(3, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let from_model = model.one_round_complex(&input);
+    let from_sim = enumerate_async_views(&[0, 1, 2], &process_set(3), 1, 1);
+    assert_eq!(from_model.facet_count(), from_sim.facet_count());
+    assert_eq!(from_model, from_sim); // identical labels, not just isomorphic
+}
+
+#[test]
+fn async_one_round_simulator_matches_model_f2() {
+    let model = AsyncModel::new(3, 2);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let from_model = model.one_round_complex(&input);
+    let from_sim = enumerate_async_views(&[0, 1, 2], &process_set(3), 2, 1);
+    assert_eq!(from_model, from_sim);
+}
+
+#[test]
+fn async_two_round_simulator_matches_model() {
+    // r = 2 with 2 processes keeps the enumeration small
+    let model = AsyncModel::new(2, 1);
+    let input = input_simplex(&[0u8, 1]);
+    let from_model = model.protocol_complex(&input, 2);
+    let from_sim = enumerate_async_views(&[0, 1], &process_set(2), 1, 2);
+    assert_eq!(from_model, from_sim);
+}
+
+#[test]
+fn async_formula_pseudosphere_isomorphic_to_simulator() {
+    // Lemma 11's ψ-formula vs the simulator (label types differ, so
+    // isomorphism rather than equality)
+    let model = AsyncModel::new(3, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let formula = model.one_round_pseudosphere(&input).realize();
+    let from_sim = enumerate_async_views(&[0, 1, 2], &process_set(3), 1, 1);
+    assert!(are_isomorphic(&formula, &from_sim));
+}
+
+#[test]
+fn sync_one_round_simulator_matches_model() {
+    // E3 / Lemma 14 + Figure 3, n+1 = 3, k = f = 1
+    let model = SyncModel::new(3, 1, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let from_model = model.one_round_complex(&input);
+    let from_sim = enumerate_sync_views(&[0, 1, 2], 1, 1, 1);
+    assert_eq!(from_model, from_sim);
+    assert_eq!(from_sim.f_vector(), vec![9, 12, 1]); // Figure 3 shape
+}
+
+#[test]
+fn sync_one_round_simulator_matches_model_k2() {
+    let model = SyncModel::new(3, 2, 2);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let from_model = model.one_round_complex(&input);
+    let from_sim = enumerate_sync_views(&[0, 1, 2], 2, 2, 1);
+    assert_eq!(from_model, from_sim);
+}
+
+#[test]
+fn sync_two_round_simulator_matches_model() {
+    let model = SyncModel::new(3, 1, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let from_model = model.protocol_complex(&input, 2);
+    let from_sim = enumerate_sync_views(&[0, 1, 2], 1, 1, 2);
+    assert_eq!(from_model, from_sim);
+}
+
+#[test]
+fn sync_two_round_budget_two() {
+    // total budget 2, cap 1/round: failures can be split across rounds
+    let model = SyncModel::new(3, 1, 2);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let from_model = model.protocol_complex(&input, 2);
+    let from_sim = enumerate_sync_views(&[0, 1, 2], 1, 2, 2);
+    assert_eq!(from_model, from_sim);
+}
+
+#[test]
+fn distinct_inputs_distinct_complexes() {
+    // sanity: the construction depends on the inputs
+    let a = enumerate_sync_views(&[0, 1, 2], 1, 1, 1);
+    let b = enumerate_sync_views(&[0, 0, 0], 1, 1, 1);
+    assert_ne!(a, b);
+    assert_eq!(a.f_vector(), b.f_vector()); // same shape, different labels
+}

@@ -1,0 +1,81 @@
+//! Exporter round-trips and structural invariants across all model
+//! complexes: text-format round-trips exactly; DOT/OFF/SVG carry the
+//! right element counts.
+
+use pseudosphere::models::{input_simplex, AsyncModel, IisModel, SemiSyncModel, SyncModel};
+use pseudosphere::topology::export::{from_text, to_dot, to_off, to_text};
+use pseudosphere::topology::svg::{to_svg, SvgOptions};
+use pseudosphere::topology::{Complex, Label};
+
+fn roundtrip<V: Label>(c: &Complex<V>, name: &str) {
+    // text round-trip through index labels (always injective; the
+    // compact Debug form of deep views is not)
+    let verts: Vec<V> = c.vertex_set().into_iter().collect();
+    let as_strings = c.map(|v| format!("v{}", verts.binary_search(v).unwrap()));
+    assert_eq!(
+        as_strings.vertex_count(),
+        c.vertex_count(),
+        "{name}: index labels must be injective"
+    );
+    let text = to_text(&as_strings);
+    let back = from_text(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+    assert_eq!(back, as_strings, "{name}: text round-trip");
+
+    // DOT: one edge line per 1-simplex
+    let dot = to_dot(c, name);
+    assert_eq!(
+        dot.matches(" -- ").count(),
+        c.simplices_of_dim(1).len(),
+        "{name}: DOT edge count"
+    );
+
+    // OFF: header reflects vertex / triangle counts
+    let off = to_off(c);
+    let header = off.lines().nth(1).unwrap();
+    let counts: Vec<usize> = header
+        .split_whitespace()
+        .map(|t| t.parse().unwrap())
+        .collect();
+    assert_eq!(counts[0], c.vertex_count(), "{name}: OFF vertices");
+    assert_eq!(counts[1], c.simplices_of_dim(2).len(), "{name}: OFF faces");
+
+    // SVG: one circle per vertex, one polygon per 2-simplex
+    let svg = to_svg(c, name, &SvgOptions::default());
+    assert_eq!(
+        svg.matches("<circle").count(),
+        c.vertex_count(),
+        "{name}: SVG circles"
+    );
+    assert_eq!(
+        svg.matches("<polygon").count(),
+        c.simplices_of_dim(2).len(),
+        "{name}: SVG polygons"
+    );
+}
+
+#[test]
+fn all_one_round_model_complexes_roundtrip() {
+    let input = input_simplex(&[0u8, 1, 2]);
+    roundtrip(&AsyncModel::new(3, 1).one_round_complex(&input), "async");
+    roundtrip(&SyncModel::new(3, 1, 1).one_round_complex(&input), "sync");
+    roundtrip(
+        &SemiSyncModel::new(3, 1, 1, 2).one_round_complex(&input),
+        "semisync",
+    );
+    roundtrip(&IisModel::new().one_round_complex(&input), "iis");
+}
+
+#[test]
+fn two_round_async_roundtrips() {
+    let input = input_simplex(&[0u8, 1]);
+    roundtrip(&AsyncModel::new(2, 1).protocol_complex(&input, 2), "async-r2");
+}
+
+#[test]
+fn pseudosphere_realizations_roundtrip() {
+    use pseudosphere::core::{process_simplex, Pseudosphere};
+    for vals in 2..=3u8 {
+        let ps = Pseudosphere::uniform(process_simplex(3), (0..vals).collect());
+        roundtrip(&ps.realize(), &format!("psi-{vals}"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Regeneration of the paper's three figures (experiments E1–E3):
+//! exact combinatorial invariants plus exporter output.
+
+use pseudosphere::core::{process_simplex, Pseudosphere};
+use pseudosphere::models::{input_simplex, SyncModel};
+use pseudosphere::topology::export::{ascii_summary, to_dot, to_off};
+use pseudosphere::topology::{ConnectivityAnalyzer, Homology};
+use std::collections::BTreeSet;
+
+fn set(vals: &[u8]) -> BTreeSet<u8> {
+    vals.iter().copied().collect()
+}
+
+#[test]
+fn figure1_three_process_binary_pseudosphere() {
+    // "the result of assigning binary values to n + 1 processes is
+    // topologically equivalent to an n-dimensional sphere"
+    let ps = Pseudosphere::uniform(process_simplex(3), set(&[0, 1]));
+    let c = ps.realize();
+    // the octahedron: 6 vertices, 12 edges, 8 triangles
+    assert_eq!(c.f_vector(), vec![6, 12, 8]);
+    assert_eq!(c.euler_characteristic(), 2);
+    let h = Homology::reduced(&c);
+    assert_eq!(h.betti(0), 0);
+    assert_eq!(h.betti(1), 0);
+    assert_eq!(h.betti(2), 1);
+    // intermediate stage of the construction (two copies labeled 0/1):
+    // the two "poles" ψ with singleton families are disjoint facets
+    let zero = Pseudosphere::uniform(process_simplex(3), set(&[0])).realize();
+    let one = Pseudosphere::uniform(process_simplex(3), set(&[1])).realize();
+    assert_eq!(zero.facet_count(), 1);
+    assert_eq!(one.facet_count(), 1);
+    assert!(zero.intersection(&one).is_void());
+    assert!(c.contains(zero.facets().next().unwrap()));
+    assert!(c.contains(one.facets().next().unwrap()));
+}
+
+#[test]
+fn figure1_exporters() {
+    let ps = Pseudosphere::uniform(process_simplex(3), set(&[0, 1]));
+    let c = ps.realize();
+    let dot = to_dot(&c, "figure1");
+    assert_eq!(dot.matches(" -- ").count(), 12);
+    assert_eq!(dot.matches("2-simplex").count(), 8);
+    let off = to_off(&c);
+    assert!(off.starts_with("OFF\n6 8 0"));
+    let txt = ascii_summary(&c, "Figure 1: ψ(S²; {0,1})");
+    assert!(txt.contains("f-vector = [6, 12, 8]"));
+}
+
+#[test]
+fn figure2_psi_s1_binary_and_ternary() {
+    // ψ(S¹; {0,1}): a 4-cycle (1-sphere)
+    let binary = Pseudosphere::uniform(process_simplex(2), set(&[0, 1]));
+    let cb = binary.realize();
+    assert_eq!(cb.f_vector(), vec![4, 4]);
+    let hb = Homology::reduced(&cb);
+    assert_eq!(hb.betti(1), 1);
+
+    // ψ(S¹; {0,1,2}): K_{3,3}, a wedge of 4 circles up to homotopy
+    let ternary = Pseudosphere::uniform(process_simplex(2), set(&[0, 1, 2]));
+    let ct = ternary.realize();
+    assert_eq!(ct.f_vector(), vec![6, 9]);
+    let ht = Homology::reduced(&ct);
+    assert_eq!(ht.betti(1), 4);
+    assert_eq!(ternary.wedge_size(), 4);
+}
+
+#[test]
+fn figure3_one_round_sync_complex() {
+    // left: failure-free execution (a single triangle);
+    // middle: "R alone fails" (a 4-cycle pseudosphere);
+    // right: the full union (triangle + three squares glued on edges).
+    let model = SyncModel::new(3, 1, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+
+    let union = model.one_round_union(&input);
+    assert_eq!(union.len(), 4);
+    let members = union.members();
+    assert_eq!(members[0].facet_count(), 1); // K = ∅
+    for m in &members[1..] {
+        assert_eq!(m.facet_count(), 4); // K = {P}, {Q}, {R}
+        assert_eq!(m.dim(), 1);
+    }
+
+    let c = union.realize();
+    assert_eq!(c.f_vector(), vec![9, 12, 1]);
+    let an = ConnectivityAnalyzer::new(&c);
+    assert_eq!(an.connectivity(), 0); // connected; three 1-holes remain
+    assert_eq!(Homology::reduced(&c).betti(1), 3);
+
+    let txt = ascii_summary(&c, "Figure 3: S¹(S²), one failure");
+    assert!(txt.contains("facets (10)"));
+}

@@ -1,0 +1,78 @@
+//! FloodSet's decision rule, verified *exhaustively* as a decision map:
+//! over the synchronous task complex with an **unrestricted** per-round
+//! adversary (per-round cap = f), the rule "decide the minimum known
+//! input" is a valid k-set agreement decision map at `⌊f/k⌋ + 1` rounds.
+//! This is the upper-bound half of Theorem 18, checked over *every*
+//! execution of the instance rather than sampled runs.
+
+use std::collections::BTreeSet;
+
+use pseudosphere::agreement::{allowed_values, sync_task_complex, DecisionMapSolver, KSetAgreement};
+use pseudosphere::models::View;
+use pseudosphere::topology::Complex;
+
+fn floodset_map(complex: &Complex<View<u64>>) -> std::collections::BTreeMap<View<u64>, u64> {
+    complex
+        .vertex_set()
+        .into_iter()
+        .map(|v| {
+            let min = *v.known_inputs().values().min().expect("nonempty view");
+            (v, min)
+        })
+        .collect()
+}
+
+fn check_floodset(k: usize, f: usize, n_plus_1: usize) {
+    let task = KSetAgreement::canonical(k);
+    let rounds = f / k + 1;
+    // unrestricted adversary: up to f crashes in any single round
+    let complex = sync_task_complex(&task, n_plus_1, f, f, rounds);
+    let map = floodset_map(&complex);
+    assert!(
+        DecisionMapSolver::verify(&complex, &map, allowed_values, k),
+        "FloodSet violated on k={k} f={f} n+1={n_plus_1} r={rounds}"
+    );
+}
+
+#[test]
+fn floodset_consensus_f1_three_processes() {
+    check_floodset(1, 1, 3);
+}
+
+#[test]
+fn floodset_consensus_f1_four_processes() {
+    check_floodset(1, 1, 4);
+}
+
+#[test]
+fn floodset_2set_f2_three_processes() {
+    check_floodset(2, 2, 3);
+}
+
+#[test]
+fn floodset_2set_f1_three_processes() {
+    check_floodset(2, 1, 3);
+}
+
+#[test]
+fn floodset_fails_one_round_short() {
+    // at ⌊f/k⌋ rounds the same rule must violate agreement somewhere
+    // (Theorem 18's lower bound seen through FloodSet's own rule).
+    let task = KSetAgreement::canonical(1);
+    let complex = sync_task_complex(&task, 3, 1, 1, 1); // r = 1 < 2
+    let map = floodset_map(&complex);
+    assert!(!DecisionMapSolver::verify(&complex, &map, allowed_values, 1));
+}
+
+#[test]
+fn floodset_map_is_valid_by_construction() {
+    // validity (decide a known input) holds for every vertex regardless
+    // of round count
+    let task = KSetAgreement::canonical(1);
+    let complex = sync_task_complex(&task, 3, 1, 1, 1);
+    let map = floodset_map(&complex);
+    for (v, x) in &map {
+        let dom: BTreeSet<u64> = allowed_values(v);
+        assert!(dom.contains(x));
+    }
+}

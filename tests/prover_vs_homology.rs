@@ -1,0 +1,132 @@
+//! The Mayer–Vietoris prover against ground-truth homology, across all
+//! three models' one-round unions — the paper's connectivity lemmas
+//! (12, 16, 21) checked by two independent methods.
+//!
+//! Experiments E5, E9, E11 of EXPERIMENTS.md.
+
+use pseudosphere::core::{MvProver, PseudosphereUnion};
+use pseudosphere::models::{input_simplex, AsyncModel, SemiSyncModel, SyncModel};
+use pseudosphere::topology::ConnectivityAnalyzer;
+
+#[test]
+fn async_lemma12_one_round_sweep() {
+    // A¹(Sⁿ) is a single pseudosphere; claimed (n-(n-f)-1)-connectivity
+    for (n_plus_1, f) in [(3usize, 1usize), (3, 2), (4, 1), (4, 2)] {
+        let model = AsyncModel::new(n_plus_1, f);
+        let inputs: Vec<u8> = (0..n_plus_1 as u8).collect();
+        let input = input_simplex(&inputs);
+        let union = PseudosphereUnion::single(model.one_round_pseudosphere(&input));
+        let claimed = model.claimed_connectivity(n_plus_1 as i32 - 1);
+        let proof = MvProver::new().prove_k_connected(&union, claimed);
+        assert!(proof.is_ok(), "n+1={n_plus_1} f={f}: {:?}", proof.err());
+        // ground truth on the smaller instances
+        if n_plus_1 <= 3 {
+            let an = ConnectivityAnalyzer::new(&union.realize());
+            assert!(
+                an.is_k_connected(claimed).is_yes(),
+                "homology disagrees: n+1={n_plus_1} f={f} claimed={claimed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sync_lemma16_one_round_sweep() {
+    // S¹(Sⁿ) is (n-(n-k)-1) = (k-1)-connected when n ≥ 2k
+    for (n_plus_1, k) in [(3usize, 1usize), (4, 1), (5, 1), (5, 2)] {
+        let n = n_plus_1 - 1;
+        if n < 2 * k {
+            continue;
+        }
+        let model = SyncModel::new(n_plus_1, k, k);
+        let inputs: Vec<u8> = (0..n_plus_1 as u8).collect();
+        let input = input_simplex(&inputs);
+        let union = model.one_round_union(&input);
+        let claimed = model.claimed_connectivity(n as i32);
+        assert_eq!(claimed, k as i32 - 1);
+        let proof = MvProver::new().prove_k_connected(&union, claimed);
+        assert!(proof.is_ok(), "n+1={n_plus_1} k={k}: {:?}", proof.err());
+        if n_plus_1 <= 4 {
+            let an = ConnectivityAnalyzer::new(&union.realize());
+            assert!(
+                an.is_k_connected(claimed).is_yes(),
+                "homology disagrees: n+1={n_plus_1} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sync_lemma16_tightness() {
+    // Figure 3's union is 0-connected but NOT 1-connected: the three
+    // unfilled squares carry 1-cycles.
+    let model = SyncModel::new(3, 1, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let union = model.one_round_union(&input);
+    let an = ConnectivityAnalyzer::new(&union.realize());
+    assert!(an.is_k_connected(0).is_yes());
+    assert!(!an.is_k_connected(1).is_yes());
+    // and the prover cannot certify 1 (it is honest about its limit)
+    assert!(MvProver::new().prove_k_connected(&union, 1).is_err());
+}
+
+#[test]
+fn semisync_lemma21_one_round_sweep() {
+    // M¹(Sⁿ) is (k-1)-connected when n ≥ 2k; sweep microround counts
+    for p in [1u32, 2, 3] {
+        for (n_plus_1, k) in [(3usize, 1usize), (4, 1)] {
+            let model = SemiSyncModel::new(n_plus_1, k, k, p);
+            let inputs: Vec<u8> = (0..n_plus_1 as u8).collect();
+            let input = input_simplex(&inputs);
+            let union = model.one_round_union(&input);
+            let claimed = model.claimed_connectivity(n_plus_1 as i32 - 1);
+            let proof = MvProver::new().prove_k_connected(&union, claimed);
+            assert!(
+                proof.is_ok(),
+                "p={p} n+1={n_plus_1} k={k}: {:?}",
+                proof.err()
+            );
+            if n_plus_1 == 3 {
+                let an = ConnectivityAnalyzer::new(&union.realize());
+                assert!(
+                    an.is_k_connected(claimed).is_yes(),
+                    "homology disagrees: p={p} n+1={n_plus_1} k={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn prover_never_overclaims() {
+    // wherever the prover certifies k, homology must agree — swept over
+    // the sync unions for several k levels including ones beyond the
+    // lemma's guarantee.
+    let model = SyncModel::new(3, 1, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let union = model.one_round_union(&input);
+    let realized = union.realize();
+    let an = ConnectivityAnalyzer::new(&realized);
+    for k in -2..=2 {
+        if MvProver::new().prove_k_connected(&union, k).is_ok() {
+            assert!(
+                an.is_k_connected(k).is_yes(),
+                "prover overclaimed {k}-connectivity"
+            );
+        }
+    }
+}
+
+#[test]
+fn proof_objects_replay_paper_induction() {
+    // the derivation for Figure 3's union uses Theorem 2 and Corollary 6
+    let model = SyncModel::new(3, 1, 1);
+    let input = input_simplex(&[0u8, 1, 2]);
+    let union = model.one_round_union(&input);
+    let proof = MvProver::new().prove_k_connected(&union, 0).unwrap();
+    let text = proof.to_string();
+    assert!(text.contains("Mayer–Vietoris"));
+    assert!(text.contains("Cor. 6"));
+    assert!(proof.size() > 5);
+    assert_eq!(proof.level(), 0);
+}

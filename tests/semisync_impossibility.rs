@@ -1,0 +1,52 @@
+//! Semi-synchronous round solvability (the combinatorial side of §8):
+//! the decision-map staircase for M^r mirrors the synchronous one —
+//! as the paper's unification predicts, since the round structures share
+//! the same union-of-pseudospheres shape.
+
+use pseudosphere::agreement::semisync_solvable;
+
+#[test]
+fn semisync_consensus_round_staircase() {
+    // 3 processes, f = 1, k = 1, p = 2 microrounds
+    let r0 = semisync_solvable(1, 1, 3, 1, 2, 0);
+    assert!(!r0.solvable, "{r0:?}");
+    let r1 = semisync_solvable(1, 1, 3, 1, 2, 1);
+    assert!(!r1.solvable, "{r1:?}");
+    let r2 = semisync_solvable(1, 1, 3, 1, 2, 2);
+    assert!(r2.solvable, "{r2:?}");
+}
+
+#[test]
+fn semisync_matches_sync_staircase_for_p1() {
+    // with a single microround the semi-synchronous round structure
+    // degenerates to the synchronous one (μ ∈ {0, 1} = reached or not),
+    // so solvability must match round for round.
+    use pseudosphere::agreement::sync_solvable;
+    for rounds in 0..=2usize {
+        let ss = semisync_solvable(1, 1, 3, 1, 1, rounds);
+        let sy = sync_solvable(1, 1, 3, 1, rounds);
+        assert_eq!(
+            ss.solvable, sy.solvable,
+            "r = {rounds}: semisync {ss:?} vs sync {sy:?}"
+        );
+    }
+}
+
+#[test]
+fn semisync_2set_one_round_suffices() {
+    // k = 2, f = 1: one round is enough, as in the synchronous model
+    let r1 = semisync_solvable(2, 1, 3, 1, 2, 1);
+    assert!(r1.solvable, "{r1:?}");
+    let r0 = semisync_solvable(2, 1, 3, 1, 2, 0);
+    assert!(!r0.solvable, "{r0:?}");
+}
+
+#[test]
+fn more_microrounds_do_not_rescue_one_round_consensus() {
+    // finer microround structure gives the adversary *more* failure
+    // patterns, never fewer: one round stays unsolvable as p grows
+    for p in [1u32, 2, 3] {
+        let r = semisync_solvable(1, 1, 3, 1, p, 1);
+        assert!(!r.solvable, "p = {p}: {r:?}");
+    }
+}

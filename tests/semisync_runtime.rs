@@ -1,0 +1,200 @@
+//! Semi-synchronous runtime ↔ model cross-validation (Lemma 19 from the
+//! simulator side, experiment E11).
+//!
+//! For each failure set `K`, failure pattern `F`, and per-receiver choice
+//! of whether each crashing process's final microround message is
+//! delivered, the real-time executor is driven by the corresponding
+//! `ScriptedPattern` adversary. Every survivor's resulting *view vector*
+//! must lie in the paper's `[F]` box, and enumerating all delivery
+//! choices must produce exactly the facets of the Lemma 19 pseudosphere
+//! `ψ(Sⁿ\K; [F])`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pseudosphere::core::ProcessId;
+use pseudosphere::models::{FailurePattern, SemiSyncModel};
+use pseudosphere::runtime::{ScriptedPattern, TimedExecutor, TimedParams, TimedProtocol};
+
+/// One-round full-information observer: broadcasts its microround number
+/// at each of the first `p` steps, then at step `p` decides its view
+/// vector (last microround heard per sender, self = `p`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct RoundObserver;
+
+type ViewVec = Vec<(u32, u32)>; // (process index, last microround)
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct ObserverState {
+    me: ProcessId,
+    p: u64,
+    heard: BTreeMap<ProcessId, u32>,
+}
+
+impl TimedProtocol for RoundObserver {
+    type Input = u8;
+    type State = ObserverState;
+    type Msg = u32; // the microround of the send
+    type Output = ViewVec;
+
+    fn init(
+        &self,
+        me: ProcessId,
+        _n_plus_1: usize,
+        _input: u8,
+        params: &TimedParams,
+    ) -> ObserverState {
+        ObserverState {
+            me,
+            p: params.microrounds(),
+            heard: BTreeMap::new(),
+        }
+    }
+
+    fn on_step(
+        &self,
+        mut state: ObserverState,
+        _now: u64,
+        step: u64,
+        inbox: &[(ProcessId, u32)],
+    ) -> (ObserverState, Option<u32>, Option<ViewVec>) {
+        for (src, mu) in inbox {
+            let e = state.heard.entry(*src).or_insert(0);
+            *e = (*e).max(*mu);
+        }
+        let p = state.p;
+        // steps 0..p are microrounds 1..=p; step p is the collection step
+        let broadcast = (step < p).then_some(step as u32 + 1);
+        let decide = (step == p).then(|| {
+            let mut view: BTreeMap<ProcessId, u32> = state.heard.clone();
+            view.insert(state.me, p as u32);
+            view.into_iter().map(|(q, mu)| (q.0, mu)).collect()
+        });
+        (state, broadcast, decide)
+    }
+}
+
+/// Enumerates all last-message delivery choices for the crashing set.
+fn delivery_choices(
+    k_set: &[ProcessId],
+    survivors: &[ProcessId],
+) -> Vec<BTreeSet<(ProcessId, ProcessId)>> {
+    let pairs: Vec<(ProcessId, ProcessId)> = k_set
+        .iter()
+        .flat_map(|c| survivors.iter().map(move |s| (*c, *s)))
+        .collect();
+    (0u32..(1 << pairs.len()))
+        .map(|mask| {
+            pairs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, pr)| *pr)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn executor_views_land_in_view_box() {
+    // 3 processes, c1 = 2, d = 4 => p = 2 microrounds.
+    let params = TimedParams::new(2, 4, 4);
+    let model = SemiSyncModel::new(3, 1, 1, params.microrounds() as u32);
+    let all: Vec<ProcessId> = (0..3u32).map(ProcessId).collect();
+
+    for crasher in &all {
+        let survivors: Vec<ProcessId> =
+            all.iter().copied().filter(|q| q != crasher).collect();
+        for fail_step in 1..=params.microrounds() {
+            let pattern: FailurePattern =
+                [(*crasher, fail_step as u32)].into_iter().collect();
+            let participants: BTreeSet<ProcessId> = all.iter().copied().collect();
+            let the_box = model.view_box(&participants, &pattern);
+
+            let mut seen_vectors: BTreeSet<Vec<(u32, u32)>> = BTreeSet::new();
+            for delivered in delivery_choices(&[*crasher], &survivors) {
+                let adv_proto = ScriptedPattern::new(
+                    [(*crasher, fail_step)].into_iter().collect(),
+                    delivered,
+                    &params,
+                );
+                let exec = TimedExecutor::new(RoundObserver, 3, params);
+                let mut adv = adv_proto.clone();
+                let trace = exec.run(&[0, 1, 2], &mut adv, 1000);
+                for s in &survivors {
+                    let (_, view) = trace.decision(*s).expect("survivor decides");
+                    // convert to the models' ViewVector over participants
+                    let as_map: BTreeMap<ProcessId, u32> = all
+                        .iter()
+                        .map(|q| {
+                            let mu = view
+                                .iter()
+                                .find(|(i, _)| *i == q.0)
+                                .map(|(_, mu)| *mu)
+                                .unwrap_or(0);
+                            (*q, mu)
+                        })
+                        .collect();
+                    assert!(
+                        the_box.contains(&as_map),
+                        "crasher={crasher} F={fail_step} view {as_map:?} not in [F] = {the_box:?}"
+                    );
+                    seen_vectors.insert(view.clone());
+                }
+            }
+            // every element of [F] is realized by some delivery choice
+            assert_eq!(
+                seen_vectors.len(),
+                the_box.len(),
+                "crasher={crasher} F={fail_step}: coverage of [F] incomplete"
+            );
+        }
+    }
+}
+
+#[test]
+fn failure_free_run_gives_all_p_vector() {
+    let params = TimedParams::new(2, 4, 4);
+    let exec = TimedExecutor::new(RoundObserver, 3, params);
+    let mut adv = ScriptedPattern::new(BTreeMap::new(), BTreeSet::new(), &params);
+    let trace = exec.run(&[0, 1, 2], &mut adv, 1000);
+    let p = params.microrounds() as u32;
+    for q in 0..3u32 {
+        let (_, view) = trace.decision(ProcessId(q)).expect("decides");
+        assert_eq!(view.len(), 3);
+        assert!(view.iter().all(|(_, mu)| *mu == p), "{view:?}");
+    }
+}
+
+#[test]
+fn facets_match_lemma19_pseudosphere() {
+    // Collect the survivor-view simplexes over all delivery choices for a
+    // fixed (K, F); they must biject with the facets of ψ(Sⁿ\K; [F]).
+    use pseudosphere::models::input_simplex;
+
+    let params = TimedParams::new(2, 4, 4);
+    let model = SemiSyncModel::new(3, 1, 1, params.microrounds() as u32);
+    let crasher = ProcessId(2);
+    let survivors = [ProcessId(0), ProcessId(1)];
+    let fail_step = 2u64;
+    let pattern: FailurePattern = [(crasher, fail_step as u32)].into_iter().collect();
+
+    // facet vertices are (process, view) pairs, as in the pseudosphere
+    let mut facets: BTreeSet<Vec<(ProcessId, ViewVec)>> = BTreeSet::new();
+    for delivered in delivery_choices(&[crasher], &survivors) {
+        let exec = TimedExecutor::new(RoundObserver, 3, params);
+        let mut adv = ScriptedPattern::new(
+            [(crasher, fail_step)].into_iter().collect(),
+            delivered,
+            &params,
+        );
+        let trace = exec.run(&[0, 1, 2], &mut adv, 1000);
+        let facet: Vec<(ProcessId, ViewVec)> = survivors
+            .iter()
+            .map(|s| (*s, trace.decision(*s).unwrap().1.clone()))
+            .collect();
+        facets.insert(facet);
+    }
+    let ps = model.member_pseudosphere(&input_simplex(&[0u8, 1, 2]),
+        &[crasher].into_iter().collect(), &pattern);
+    assert_eq!(facets.len() as u128, ps.facet_count());
+}

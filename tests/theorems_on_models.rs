@@ -1,0 +1,120 @@
+//! Theorems 5 and 7 instantiated with real model protocols (experiment
+//! E6): the asynchronous one-round protocol (with its participation
+//! threshold) satisfies the hypothesis with `c = n - f`, and the
+//! conclusion — connectivity of the protocol applied to input
+//! pseudospheres and their unions — holds.
+
+use pseudosphere::core::theorems::{check_theorem5, check_theorem7};
+use pseudosphere::core::{identity_protocol, process_simplex, ProcessId, Pseudosphere};
+use pseudosphere::models::AsyncModel;
+use pseudosphere::topology::{Complex, Simplex};
+use std::collections::BTreeSet;
+
+/// The asynchronous one-round protocol as a `SimplexProtocol`: input
+/// simplexes are global states `(process, value)`; `P(σ)` is `A¹(σ)`.
+fn async_one_round(
+    model: AsyncModel,
+) -> impl Fn(&Simplex<(ProcessId, u8)>) -> Complex<pseudosphere::models::View<u8>> {
+    move |input| model.one_round_complex(input)
+}
+
+fn set(vals: &[u8]) -> BTreeSet<u8> {
+    vals.iter().copied().collect()
+}
+
+#[test]
+fn theorem5_identity_c0() {
+    // identity protocol, c = 0: Corollary 6 instances
+    let proto = identity_protocol::<(ProcessId, u8)>();
+    for n in 2..=3usize {
+        let ps = Pseudosphere::uniform(process_simplex(n), set(&[0, 1]));
+        let check = check_theorem5(&proto, &ps, 0);
+        assert!(check.hypothesis_holds && check.conclusion_holds, "n={n}: {check:?}");
+    }
+}
+
+#[test]
+fn theorem5_async_one_round_f_equals_n() {
+    // 3 processes, f = 2: A¹ is defined on every nonempty face, and
+    // A¹(S^l) is (l - (n - f) - 1)-connected = (l - 1)-connected, i.e.
+    // c = n - f = 0. Conclusion: A¹(ψ(S²; U)) is 1-connected.
+    let model = AsyncModel::new(3, 2);
+    let proto = async_one_round(model);
+    let ps = Pseudosphere::uniform(process_simplex(3), set(&[0, 1]));
+    let check = check_theorem5(&proto, &ps, 0);
+    assert!(check.hypothesis_holds, "{check:?}");
+    assert!(check.conclusion_holds, "{check:?}");
+    assert_eq!(check.asserted_level, 1);
+}
+
+#[test]
+fn theorem5_async_one_round_with_threshold() {
+    // 3 processes, f = 1: A¹ is void below 2 participants, so the
+    // hypothesis fails at c = 0 on 0-dimensional faces (void is not
+    // (-1)-connected) — and indeed must be stated at c = n - f = 1.
+    let model = AsyncModel::new(3, 1);
+    let proto = async_one_round(model);
+    let ps = Pseudosphere::uniform(process_simplex(3), set(&[0, 1]));
+    let check_c0 = check_theorem5(&proto, &ps, 0);
+    assert!(!check_c0.hypothesis_holds);
+    assert!(check_c0.confirms()); // theorem not contradicted
+    let check_c1 = check_theorem5(&proto, &ps, 1);
+    assert!(check_c1.hypothesis_holds, "{check_c1:?}");
+    assert!(check_c1.conclusion_holds, "{check_c1:?}");
+    assert_eq!(check_c1.asserted_level, 0);
+}
+
+#[test]
+fn theorem7_async_union_with_common_value() {
+    // union of input pseudospheres with a common value, f = 2 (c = 0):
+    // A¹(ψ(S²;{0,1}) ∪ ψ(S²;{0,2})) is 1-connected.
+    let model = AsyncModel::new(3, 2);
+    let proto = async_one_round(model);
+    let base = process_simplex(3);
+    let check = check_theorem7(&proto, &base, &[set(&[0, 1]), set(&[0, 2])], 0);
+    assert!(check.hypothesis_holds, "{check:?}");
+    assert!(check.conclusion_holds, "{check:?}");
+    assert_eq!(check.asserted_level, 1);
+}
+
+#[test]
+fn theorem7_rejects_disjoint_families() {
+    let model = AsyncModel::new(3, 2);
+    let proto = async_one_round(model);
+    let base = process_simplex(3);
+    let check = check_theorem7(&proto, &base, &[set(&[0]), set(&[1])], 0);
+    assert!(!check.hypothesis_holds);
+    assert!(check.confirms());
+}
+
+#[test]
+fn theorem7_two_processes_three_members() {
+    let model = AsyncModel::new(2, 1);
+    let proto = async_one_round(model);
+    let base = process_simplex(2);
+    let check = check_theorem7(
+        &proto,
+        &base,
+        &[set(&[0, 1]), set(&[0, 2]), set(&[0, 1, 2])],
+        0,
+    );
+    assert!(check.hypothesis_holds, "{check:?}");
+    assert!(check.conclusion_holds, "{check:?}");
+    assert_eq!(check.asserted_level, 0);
+}
+
+#[test]
+fn theorem5_iis_subdivision_at_c0() {
+    // the IIS one-round operator is a subdivision: contractible on every
+    // face (hypothesis at c = 0 holds a fortiori), and its image of a
+    // pseudosphere is homotopy equivalent to the pseudosphere — exactly
+    // (m-1)-connected, matching Theorem 5's conclusion at c = 0.
+    use pseudosphere::models::IisModel;
+    let iis = IisModel::new();
+    let proto = move |input: &Simplex<(ProcessId, u8)>| iis.protocol_complex(input, 1);
+    let ps = Pseudosphere::uniform(process_simplex(2), set(&[0, 1]));
+    let check = check_theorem5(&proto, &ps, 0);
+    assert!(check.hypothesis_holds, "{check:?}");
+    assert!(check.conclusion_holds, "{check:?}");
+    assert_eq!(check.asserted_level, 0);
+}
