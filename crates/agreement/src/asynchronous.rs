@@ -43,7 +43,9 @@ impl RoundProtocol for WaitForAll {
         _round: usize,
     ) -> View<u64> {
         let mut heard = received.clone();
-        heard.entry(state.process()).or_insert_with(|| state.clone());
+        heard
+            .entry(state.process())
+            .or_insert_with(|| state.clone());
         View::Round {
             process: state.process(),
             heard,

@@ -175,7 +175,11 @@ mod tests {
             let mut adv = RandomAdversary::new(seed * 7919, 3, 0.8);
             let inputs = [0u64, 9, 9, 9, 9];
             let trace = exec.run(&inputs, &mut adv, 8);
-            assert!(trace.satisfies_k_agreement(1), "seed {seed}: {:?}", trace.decisions());
+            assert!(
+                trace.satisfies_k_agreement(1),
+                "seed {seed}: {:?}",
+                trace.decisions()
+            );
         }
     }
 }

@@ -108,8 +108,7 @@ mod tests {
                     "seed {seed}: {:?}",
                     trace.decisions()
                 );
-                assert!(trace
-                    .satisfies_validity(&inputs.iter().copied().collect()));
+                assert!(trace.satisfies_validity(&inputs.iter().copied().collect()));
             }
         }
     }

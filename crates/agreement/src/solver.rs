@@ -92,8 +92,11 @@ impl SearchState {
     /// or `None` on wipe-out.
     fn assign(&mut self, vi: usize, val: u64, stats: &mut SolverStats) -> Option<Trail> {
         let mut trail: Trail = Vec::new();
-        let removed: BTreeSet<u64> =
-            self.domains[vi].iter().copied().filter(|&x| x != val).collect();
+        let removed: BTreeSet<u64> = self.domains[vi]
+            .iter()
+            .copied()
+            .filter(|&x| x != val)
+            .collect();
         if !removed.is_empty() {
             self.domains[vi] = [val].into_iter().collect();
             trail.push((vi, removed));
@@ -118,12 +121,12 @@ impl SearchState {
                 let violated = match self.constraint {
                     AgreementConstraint::AtMostKDistinct(k) => distinct.len() > k,
                     AgreementConstraint::AllDistinct => duplicate,
-                    AgreementConstraint::MaxRange(range) => match
-                        (distinct.first(), distinct.last())
-                    {
-                        (Some(&lo), Some(&hi)) => hi - lo > range,
-                        _ => false,
-                    },
+                    AgreementConstraint::MaxRange(range) => {
+                        match (distinct.first(), distinct.last()) {
+                            (Some(&lo), Some(&hi)) => hi - lo > range,
+                            _ => false,
+                        }
+                    }
                 };
                 if violated {
                     self.undo(&trail);
@@ -252,18 +255,17 @@ impl DecisionMapSolver {
         constraint: AgreementConstraint,
     ) -> Option<BTreeMap<V, u64>> {
         self.stats = SolverStats::default();
-        let vertices: Vec<V> = complex.vertex_set().into_iter().collect();
+        // The canonical pool assigns ids 0..n in ascending label order, so
+        // the vertex index IS the interned id and facet index lists fall
+        // straight out of the id facets — no per-vertex label searches.
+        let (pool, id_complex) = complex.to_interned();
+        let vertices: Vec<V> = pool.labels().to_vec();
         if vertices.is_empty() {
             return Some(BTreeMap::new());
         }
-        let facets: Vec<Vec<usize>> = complex
+        let facets: Vec<Vec<usize>> = id_complex
             .facets()
-            .map(|f| {
-                f.vertices()
-                    .iter()
-                    .map(|v| vertices.binary_search(v).unwrap())
-                    .collect()
-            })
+            .map(|f| f.ids().map(|i| i as usize).collect())
             .collect();
         let mut facets_of: Vec<Vec<usize>> = vec![Vec::new(); vertices.len()];
         for (fi, f) in facets.iter().enumerate() {
@@ -300,7 +302,12 @@ impl DecisionMapSolver {
         // most-constrained unassigned vertex
         let next = (0..state.domains.len())
             .filter(|&i| state.assigned[i].is_none())
-            .min_by_key(|&i| (state.domains[i].len(), usize::MAX - state.facets_of[i].len()));
+            .min_by_key(|&i| {
+                (
+                    state.domains[i].len(),
+                    usize::MAX - state.facets_of[i].len(),
+                )
+            });
         let Some(vi) = next else {
             return true; // all assigned
         };
@@ -326,7 +333,12 @@ impl DecisionMapSolver {
         allowed: impl FnMut(&V) -> BTreeSet<u64>,
         k: usize,
     ) -> bool {
-        Self::verify_with(complex, map, allowed, AgreementConstraint::AtMostKDistinct(k))
+        Self::verify_with(
+            complex,
+            map,
+            allowed,
+            AgreementConstraint::AtMostKDistinct(k),
+        )
     }
 
     /// Verifies `map` against an arbitrary [`AgreementConstraint`].
@@ -343,18 +355,20 @@ impl DecisionMapSolver {
             }
         }
         complex.facets().all(|f| {
-            let values: Vec<u64> =
-                f.vertices().iter().filter_map(|v| map.get(v)).copied().collect();
+            let values: Vec<u64> = f
+                .vertices()
+                .iter()
+                .filter_map(|v| map.get(v))
+                .copied()
+                .collect();
             let distinct: BTreeSet<u64> = values.iter().copied().collect();
             match constraint {
                 AgreementConstraint::AtMostKDistinct(k) => distinct.len() <= k,
                 AgreementConstraint::AllDistinct => distinct.len() == values.len(),
-                AgreementConstraint::MaxRange(range) => {
-                    match (distinct.first(), distinct.last()) {
-                        (Some(&lo), Some(&hi)) => hi - lo <= range,
-                        _ => true,
-                    }
-                }
+                AgreementConstraint::MaxRange(range) => match (distinct.first(), distinct.last()) {
+                    (Some(&lo), Some(&hi)) => hi - lo <= range,
+                    _ => true,
+                },
             }
         })
     }
@@ -472,7 +486,8 @@ mod tests {
     fn solution_verified_on_triangulated_instance() {
         // mixed-dimension complex, k = 2, three values
         let c = Complex::from_facets([s(&[0, 1, 2]), s(&[2, 3, 4]), s(&[4, 5])]);
-        let allowed = |v: &u32| -> BTreeSet<u64> { [0u64, 1, u64::from(*v) % 3].into_iter().collect() };
+        let allowed =
+            |v: &u32| -> BTreeSet<u64> { [0u64, 1, u64::from(*v) % 3].into_iter().collect() };
         let mut solver = DecisionMapSolver::new();
         let m = solver.solve(&c, allowed, 2).expect("solvable");
         assert!(DecisionMapSolver::verify(&c, &m, allowed, 2));
@@ -511,7 +526,12 @@ mod tests {
         let m = solver
             .solve_with(&c, dom, AgreementConstraint::AllDistinct)
             .expect("colorable");
-        assert!(DecisionMapSolver::verify_with(&c, &m, dom, AgreementConstraint::AllDistinct));
+        assert!(DecisionMapSolver::verify_with(
+            &c,
+            &m,
+            dom,
+            AgreementConstraint::AllDistinct
+        ));
         assert_eq!(m[&0], m[&3].min(m[&0]).max(m[&0])); // m[0] may equal m[3]
     }
 

@@ -76,8 +76,8 @@ impl TimedProtocol for TimedFloodSet {
         // broadcast at the first step of each round
         let broadcast = step.is_multiple_of(p).then(|| state.known.clone());
         // decide once R rounds of p steps have completed (count this step)
-        let decide = (step + 1 >= self.rounds * p)
-            .then(|| *state.known.first().expect("own input known"));
+        let decide =
+            (step + 1 >= self.rounds * p).then(|| *state.known.first().expect("own input known"));
         (state, broadcast, decide)
     }
 }

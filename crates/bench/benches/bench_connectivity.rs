@@ -5,7 +5,7 @@
 //! widens with dimension.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ps_core::{process_simplex, MvProver, Pseudosphere, PseudosphereUnion, ProcessId};
+use ps_core::{process_simplex, MvProver, ProcessId, Pseudosphere, PseudosphereUnion};
 use ps_topology::{ConnectivityAnalyzer, Homology};
 use std::collections::BTreeSet;
 use std::hint::black_box;
@@ -50,7 +50,8 @@ fn bench_prover_vs_homology(c: &mut Criterion) {
 fn bench_analyzer(c: &mut Criterion) {
     let mut group = c.benchmark_group("connectivity_analyzer");
     group.sample_size(20);
-    let sphere = ps_topology::Complex::simplex(ps_topology::Simplex::from_iter(0u32..5)).skeleton(3);
+    let sphere =
+        ps_topology::Complex::simplex(ps_topology::Simplex::from_iter(0u32..5)).skeleton(3);
     group.bench_function("analyzer_S3", |b| {
         b.iter(|| {
             let a = ConnectivityAnalyzer::new(&sphere);

@@ -15,15 +15,11 @@ fn bench_sync_executor(c: &mut Criterion) {
         // full-information states grow exponentially in rounds; 3 rounds
         let rounds = 3usize;
         group.throughput(Throughput::Elements((n_plus_1 * rounds) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n_plus_1),
-            &n_plus_1,
-            |b, &n| {
-                let exec = SyncExecutor::new(FullInformation::new(), n, 0);
-                let inputs: Vec<u8> = (0..n as u8).collect();
-                b.iter(|| black_box(exec.run(&inputs, &mut NoFailures, rounds)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(n_plus_1), &n_plus_1, |b, &n| {
+            let exec = SyncExecutor::new(FullInformation::new(), n, 0);
+            let inputs: Vec<u8> = (0..n as u8).collect();
+            b.iter(|| black_box(exec.run(&inputs, &mut NoFailures, rounds)))
+        });
     }
     group.finish();
 }
@@ -63,16 +59,12 @@ fn bench_timed_executor(c: &mut Criterion) {
         let steps = 200u64;
         // events ≈ steps * n + messages (n*(n-1) per step)
         group.throughput(Throughput::Elements(steps * (n_plus_1 * n_plus_1) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n_plus_1),
-            &n_plus_1,
-            |b, &n| {
-                let params = TimedParams::new(1, 2, 3);
-                let exec = TimedExecutor::new(Chatter { limit: steps }, n, params);
-                let inputs = vec![0u8; n];
-                b.iter(|| black_box(exec.run(&inputs, &mut Lockstep, steps * 4)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(n_plus_1), &n_plus_1, |b, &n| {
+            let params = TimedParams::new(1, 2, 3);
+            let exec = TimedExecutor::new(Chatter { limit: steps }, n, params);
+            let inputs = vec![0u8; n];
+            b.iter(|| black_box(exec.run(&inputs, &mut Lockstep, steps * 4)))
+        });
     }
     group.finish();
 }

@@ -7,6 +7,7 @@ use ps_agreement::{
     allowed_values, async_task_complex, sync_task_complex, DecisionMapSolver, KSetAgreement,
     SolverConfig,
 };
+use ps_topology::{Complex, IdComplex, Simplex, VertexPool};
 use std::hint::black_box;
 
 fn bench_impossible_instances(c: &mut Criterion) {
@@ -93,11 +94,42 @@ fn bench_forward_checking_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_interning_layer(c: &mut Criterion) {
+    // the raw id plumbing the solver now sits on: canonical interning of
+    // a protocol complex, and id-level ops on the dense u32 complex
+    let mut group = c.benchmark_group("interning_layer");
+    group.sample_size(10);
+    let task = KSetAgreement::canonical(1);
+    let protocol = async_task_complex(&task, 3, 1, 1);
+    group.bench_function("to_interned_async_n3", |b| {
+        b.iter(|| black_box(protocol.to_interned()))
+    });
+    let (pool, idc) = protocol.to_interned();
+    group.bench_function("id_closure_async_n3", |b| {
+        b.iter(|| black_box(idc.all_simplices()))
+    });
+    group.bench_function("resolve_async_n3", |b| {
+        b.iter(|| black_box(Complex::from_interned(&pool, &idc)))
+    });
+    // synthetic u32 complex straddling the 64-id bitset boundary
+    let wide: Complex<u32> =
+        Complex::from_facets((0..90u32).map(|i| Simplex::from_iter([i, i + 1, (i + 2) % 92])));
+    let (_, wide_id): (VertexPool<u32>, IdComplex) = wide.to_interned();
+    group.bench_function("id_skeleton_wide_u32", |b| {
+        b.iter(|| black_box(wide_id.skeleton(1)))
+    });
+    group.bench_function("id_union_wide_u32", |b| {
+        b.iter(|| black_box(wide_id.union(&wide_id.skeleton(1))))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_impossible_instances,
     bench_solvable_instances,
     bench_task_complex_construction,
-    bench_forward_checking_ablation
+    bench_forward_checking_ablation,
+    bench_interning_layer
 );
 criterion_main!(benches);

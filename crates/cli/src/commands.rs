@@ -3,7 +3,9 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
-use ps_agreement::{async_solvable, semisync_solvable, stretch_experiment, sync_solvable, FloodSet};
+use ps_agreement::{
+    async_solvable, semisync_solvable, stretch_experiment, sync_solvable, FloodSet,
+};
 use ps_core::{process_simplex, MvProver, ProcessId, Pseudosphere};
 use ps_models::{input_simplex, AsyncModel, IisModel, SemiSyncModel, SyncModel};
 use ps_runtime::{RandomAdversary, SyncExecutor, TimedParams};
@@ -110,20 +112,26 @@ fn figure(args: &Args) -> Result<(), ArgError> {
             let c = model.one_round_union(&input).realize();
             println!(
                 "{}",
-                render(&c, "Figure 3: S¹(S²), ≤1 failure", &args.str_opt("format", "summary"))?
+                render(
+                    &c,
+                    "Figure 3: S¹(S²), ≤1 failure",
+                    &args.str_opt("format", "summary")
+                )?
             );
             return maybe_write_out(args, "figure3", &c);
         }
         other => return Err(ArgError(format!("unknown figure `{other}`"))),
     };
-    println!("{}", render(&c, &title, &args.str_opt("format", "summary"))?);
+    println!(
+        "{}",
+        render(&c, &title, &args.str_opt("format", "summary"))?
+    );
     maybe_write_out(args, &format!("figure{which}"), &c)
 }
 
 fn maybe_write_out<V: Label>(args: &Args, stem: &str, c: &Complex<V>) -> Result<(), ArgError> {
     if let Some(dir) = args.options.get("out") {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| ArgError(format!("cannot create {dir}: {e}")))?;
+        std::fs::create_dir_all(dir).map_err(|e| ArgError(format!("cannot create {dir}: {e}")))?;
         for (ext, contents) in [
             ("dot", to_dot(c, stem)),
             ("off", to_off(c)),
@@ -237,9 +245,7 @@ fn solve(args: &Args) -> Result<(), ArgError> {
         "semisync" => semisync_solvable(k, f, n, k.max(1).min(f.max(1)), p, rounds),
         other => return Err(ArgError(format!("unknown model `{other}`"))),
     };
-    println!(
-        "{model} {k}-set agreement, {n} processes, f = {f}, r = {rounds}:"
-    );
+    println!("{model} {k}-set agreement, {n} processes, f = {f}, r = {rounds}:");
     println!(
         "  protocol complex: {} vertices, {} facets",
         res.vertices, res.facets
@@ -305,15 +311,23 @@ fn stretch(args: &Args) -> Result<(), ArgError> {
         println!("{}", trace.timeline(n, ticks_per_col));
     }
     let outcome = stretch_experiment(n, k, params);
-    println!(
-        "Corollary 22 stretch: {n} processes, k = {k}, c1 = {c1}, c2 = {c2}, d = {d}"
-    );
+    println!("Corollary 22 stretch: {n} processes, k = {k}, c1 = {c1}, c2 = {c2}, d = {d}");
     println!("  lower bound ⌊f/k⌋·d + C·d = {:.1} ticks", outcome.bound);
-    println!("  stretched survivor decided at {} ticks", outcome.decision_time);
-    println!("  failure-free run finished at {} ticks", outcome.failure_free_time);
+    println!(
+        "  stretched survivor decided at {} ticks",
+        outcome.decision_time
+    );
+    println!(
+        "  failure-free run finished at {} ticks",
+        outcome.failure_free_time
+    );
     println!(
         "  bound {}",
-        if outcome.respects_bound() { "respected ✓" } else { "VIOLATED ✗" }
+        if outcome.respects_bound() {
+            "respected ✓"
+        } else {
+            "VIOLATED ✗"
+        }
     );
     Ok(())
 }

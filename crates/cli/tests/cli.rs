@@ -37,7 +37,10 @@ fn figure_out_writes_files() {
     let (stdout, _, ok) = psph(&["figure", "2a", "--out", dir_s]);
     assert!(ok, "{stdout}");
     for ext in ["dot", "off", "txt", "complex", "svg"] {
-        assert!(dir.join(format!("figure2a.{ext}")).exists(), "missing {ext}");
+        assert!(
+            dir.join(format!("figure2a.{ext}")).exists(),
+            "missing {ext}"
+        );
     }
     // the .complex file round-trips through the text parser
     let text = std::fs::read_to_string(dir.join("figure2a.complex")).unwrap();

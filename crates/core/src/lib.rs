@@ -52,4 +52,6 @@ mod prover;
 pub use prover::{MvProver, Proof, ProveFailure, ProverStats};
 
 pub mod theorems;
-pub use theorems::{check_theorem5, check_theorem7, identity_protocol, SimplexProtocol, TheoremCheck};
+pub use theorems::{
+    check_theorem5, check_theorem7, identity_protocol, SimplexProtocol, TheoremCheck,
+};

@@ -4,10 +4,9 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use ps_topology::Simplex;
-use serde::{Deserialize, Serialize};
 
 /// A process identity `P_i` in a system of `n + 1` processes.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(pub u32);
 
 impl ProcessId {
@@ -55,9 +54,15 @@ pub fn process_set(count: usize) -> BTreeSet<ProcessId> {
 ///
 /// Panics if `base` has more than 20 elements (the enumeration is
 /// exponential and such calls indicate a misuse).
-pub fn subsets_of_min_size<T: Clone + Ord>(base: &BTreeSet<T>, min_size: usize) -> Vec<BTreeSet<T>> {
+pub fn subsets_of_min_size<T: Clone + Ord>(
+    base: &BTreeSet<T>,
+    min_size: usize,
+) -> Vec<BTreeSet<T>> {
     let items: Vec<&T> = base.iter().collect();
-    assert!(items.len() <= 20, "subset enumeration limited to ≤ 20 elements");
+    assert!(
+        items.len() <= 20,
+        "subset enumeration limited to ≤ 20 elements"
+    );
     let mut out = Vec::new();
     for mask in 0u32..(1 << items.len()) {
         if (mask.count_ones() as usize) < min_size {
@@ -81,7 +86,10 @@ pub fn subsets_of_min_size<T: Clone + Ord>(base: &BTreeSet<T>, min_size: usize) 
 /// "sets ordered lexicographically" enumeration).
 pub fn subsets_up_to_size<T: Clone + Ord>(base: &BTreeSet<T>, max_size: usize) -> Vec<BTreeSet<T>> {
     let items: Vec<&T> = base.iter().collect();
-    assert!(items.len() <= 20, "subset enumeration limited to ≤ 20 elements");
+    assert!(
+        items.len() <= 20,
+        "subset enumeration limited to ≤ 20 elements"
+    );
     let mut out = Vec::new();
     for mask in 0u32..(1 << items.len()) {
         if (mask.count_ones() as usize) > max_size {

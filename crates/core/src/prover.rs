@@ -108,12 +108,13 @@ impl Proof {
                 right,
                 intersection,
             } => {
-                out.push_str(&format!(
-                    "{pad}Thm. 2 (Mayer–Vietoris) at level {k}:\n"
-                ));
+                out.push_str(&format!("{pad}Thm. 2 (Mayer–Vietoris) at level {k}:\n"));
                 left.render(indent + 1, out);
                 right.render(indent + 1, out);
-                out.push_str(&format!("{pad}  with intersection ({})-connected:\n", k - 1));
+                out.push_str(&format!(
+                    "{pad}  with intersection ({})-connected:\n",
+                    k - 1
+                ));
                 intersection.render(indent + 2, out);
             }
         }
@@ -140,7 +141,9 @@ impl Proof {
                 out.push_str(&format!("  n{id} [label=\"vacuous: {k}-connected\"];\n"));
             }
             Proof::Nonempty { k } => {
-                out.push_str(&format!("  n{id} [label=\"nonempty ⇒ ({k})-connected\"];\n"));
+                out.push_str(&format!(
+                    "  n{id} [label=\"nonempty ⇒ ({k})-connected\"];\n"
+                ));
             }
             Proof::Single {
                 description,
@@ -397,7 +400,11 @@ mod tests {
         let fail = p.prove_k_connected(&u, 2).unwrap_err();
         assert!(matches!(
             fail,
-            ProveFailure::InsufficientConnectivity { connectivity: 1, k: 2, .. }
+            ProveFailure::InsufficientConnectivity {
+                connectivity: 1,
+                k: 2,
+                ..
+            }
         ));
         assert!(p.stats().leaf_evaluations >= 3);
     }
@@ -412,11 +419,10 @@ mod tests {
             .expect("corollary 8 should apply");
         assert_eq!(proof.level(), 1);
         // cross-check with homology
-        let union: PseudosphereUnion<ProcessId, u8> =
-            [set(&[0, 1]), set(&[0, 2]), set(&[0, 1, 2])]
-                .iter()
-                .map(|a| Pseudosphere::uniform(base.clone(), a.clone()))
-                .collect();
+        let union: PseudosphereUnion<ProcessId, u8> = [set(&[0, 1]), set(&[0, 2]), set(&[0, 1, 2])]
+            .iter()
+            .map(|a| Pseudosphere::uniform(base.clone(), a.clone()))
+            .collect();
         let an = ConnectivityAnalyzer::new(&union.realize());
         assert!(an.is_k_connected(1).is_yes());
     }

@@ -13,7 +13,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use ps_topology::{Complex, Label, Simplex};
+use ps_topology::{Complex, IdComplex, IdSimplex, Label, Simplex, VertexPool};
 
 /// Errors from pseudosphere construction.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -163,34 +163,71 @@ impl<P: Label, U: Label> Pseudosphere<P, U> {
     /// Materializes the explicit complex: facets are all choice functions
     /// `s_i ↦ u_i ∈ U_i` over the effective base.
     pub fn realize(&self) -> Complex<(P, U)> {
+        let (pool, idc) = self.realize_interned();
+        Complex::from_interned(&pool, &idc)
+    }
+
+    /// Materializes the complex in interned form: each vertex `(s_i, u)`
+    /// is interned exactly once, and the odometer emits facets as sorted
+    /// id tuples directly.
+    ///
+    /// The pool is canonical (base vertices ascending, family values
+    /// ascending within each, matching the tuple order on `(P, U)`), and
+    /// distinct top-dimensional facets form an anti-chain, so facets are
+    /// inserted without any absorption scans.
+    pub fn realize_interned(&self) -> (VertexPool<(P, U)>, IdComplex) {
+        let mut pool = VertexPool::new();
+        let mut out = IdComplex::new();
+        self.realize_into(&mut pool, &mut out, true);
+        (pool, out)
+    }
+
+    /// Accumulates the realization into an existing pool and complex.
+    /// With `unchecked` the facets skip absorption scans — only valid
+    /// when `out` starts empty (a single pseudosphere's facets are an
+    /// anti-chain; across several members they may not be).
+    pub(crate) fn realize_into(
+        &self,
+        pool: &mut VertexPool<(P, U)>,
+        out: &mut IdComplex,
+        unchecked: bool,
+    ) {
         let eff = self.effective_base();
         if eff.is_empty() {
-            return Complex::new();
+            return;
         }
-        let slots: Vec<(&P, Vec<&U>)> = eff
-            .vertices()
-            .iter()
-            .map(|v| (v, self.families[v].iter().collect()))
-            .collect();
-        let mut out = Complex::new();
-        let mut choice = vec![0usize; slots.len()];
-        loop {
-            let facet = Simplex::new(
-                slots
+        // slot i spans the contiguous id block for (s_i, U_i)
+        let mut slot_ids: Vec<Vec<u32>> = Vec::with_capacity(eff.len());
+        for p in eff.vertices() {
+            slot_ids.push(
+                self.families[p]
                     .iter()
-                    .zip(&choice)
-                    .map(|((p, us), &i)| ((*p).clone(), us[i].clone()))
+                    .map(|u| pool.intern((p.clone(), u.clone())))
                     .collect(),
             );
-            out.add_simplex(facet);
+        }
+        let mut choice = vec![0usize; slot_ids.len()];
+        loop {
+            let facet = IdSimplex::from_ids(
+                slot_ids
+                    .iter()
+                    .zip(&choice)
+                    .map(|(ids, &i)| ids[i])
+                    .collect(),
+            );
+            if unchecked {
+                out.insert_facet_unchecked(facet);
+            } else {
+                out.add_simplex(facet);
+            }
             // odometer increment
             let mut i = 0;
             loop {
-                if i == slots.len() {
-                    return out;
+                if i == slot_ids.len() {
+                    return;
                 }
                 choice[i] += 1;
-                if choice[i] < slots[i].1.len() {
+                if choice[i] < slot_ids[i].len() {
                     break;
                 }
                 choice[i] = 0;
@@ -371,10 +408,8 @@ mod tests {
     fn corollary6_connectivity_matches_homology() {
         for n in 1..=3usize {
             for vals in 2..=3u8 {
-                let ps = Pseudosphere::uniform(
-                    process_simplex(n),
-                    (0..vals).collect::<BTreeSet<u8>>(),
-                );
+                let ps =
+                    Pseudosphere::uniform(process_simplex(n), (0..vals).collect::<BTreeSet<u8>>());
                 let c = ps.realize();
                 let an = ConnectivityAnalyzer::new(&c);
                 let claimed = ps.connectivity();

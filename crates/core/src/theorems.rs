@@ -230,10 +230,7 @@ mod tests {
         // A "protocol" that maps every input to a disconnected pair of
         // points violates the hypothesis for l >= 1, c = 0.
         let bad = |_: &Simplex<(ProcessId, u8)>| {
-            Complex::from_facets([
-                Simplex::vertex(0u8),
-                Simplex::vertex(1u8),
-            ])
+            Complex::from_facets([Simplex::vertex(0u8), Simplex::vertex(1u8)])
         };
         let ps = Pseudosphere::uniform(process_simplex(2), set(&[0, 1]));
         let check = check_theorem5(&bad, &ps, 0);

@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use ps_topology::{Complex, Label};
+use ps_topology::{Complex, IdComplex, Label, VertexPool};
 
 use crate::Pseudosphere;
 
@@ -70,12 +70,18 @@ impl<P: Label, U: Label> PseudosphereUnion<P, U> {
     }
 
     /// Materializes the explicit union complex.
+    ///
+    /// All members accumulate into one shared vertex pool and interned
+    /// complex, so overlap absorption between members runs on ids; the
+    /// first member's facets are inserted unchecked (a single
+    /// pseudosphere's facets are an anti-chain).
     pub fn realize(&self) -> Complex<(P, U)> {
-        let mut out = Complex::new();
-        for m in &self.members {
-            out = out.union(&m.realize());
+        let mut pool = VertexPool::new();
+        let mut out = IdComplex::new();
+        for (i, m) in self.members.iter().enumerate() {
+            m.realize_into(&mut pool, &mut out, i == 0);
         }
-        out
+        Complex::from_interned(&pool, &out)
     }
 
     /// The symbolic intersection of this union with a single pseudosphere:

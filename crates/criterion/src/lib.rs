@@ -1,0 +1,293 @@
+//! Offline stand-in for the subset of the `criterion` API this
+//! workspace uses.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors a minimal wall-clock benchmark harness under the
+//! same paths the real crate exposes: [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`,
+//! [`BenchmarkId`], and [`Bencher::iter`].
+//!
+//! Measurement model: each benchmark is calibrated with a single timed
+//! iteration, then run for `sample_size` samples of a batch sized to
+//! take roughly [`TARGET_SAMPLE_TIME`]; mean and min/max per-iteration
+//! times are printed. There are no statistical comparisons against
+//! saved baselines — output is for eyeballing relative magnitudes.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one measured sample batch.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// Upper bound on measured samples per benchmark.
+const MAX_SAMPLES: usize = 20;
+
+/// Times a single benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark identifier: a function name, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: MAX_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n.min(MAX_SAMPLES);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibration: one iteration to size the sample batches.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample = (TARGET_SAMPLE_TIME.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000);
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut worst = Duration::ZERO;
+    let mut iters_done = 0u64;
+    for _ in 0..sample_size {
+        bencher.iters = iters_per_sample as u64;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        let per = bencher.elapsed / iters_per_sample as u32;
+        total += bencher.elapsed;
+        best = best.min(per);
+        worst = worst.max(per);
+        iters_done += bencher.iters;
+    }
+    let mean = total / iters_done.max(1) as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:.3e} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:.3e} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<56} time: [{} {} {}]{rate}",
+        fmt_duration(best),
+        fmt_duration(mean),
+        fmt_duration(worst)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(4));
+        let input = 21u64;
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("double", input), &input, |b, &x| {
+            b.iter(|| {
+                seen = x * 2;
+                seen
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+    }
+}

@@ -21,7 +21,7 @@
 use std::collections::BTreeSet;
 
 use ps_core::{subsets_of_min_size, ProcessId, Pseudosphere, PseudosphereUnion};
-use ps_topology::{Complex, Label, Simplex};
+use ps_topology::{Complex, InternedBuilder, Label, Simplex};
 
 use crate::view::{input_views, InputSimplex, View};
 
@@ -72,15 +72,11 @@ impl AsyncModel {
         &self,
         input: &InputSimplex<I>,
     ) -> Pseudosphere<ProcessId, BTreeSet<ProcessId>> {
-        let participants: BTreeSet<ProcessId> =
-            input.vertices().iter().map(|(p, _)| *p).collect();
+        let participants: BTreeSet<ProcessId> = input.vertices().iter().map(|(p, _)| *p).collect();
         let base = Simplex::new(participants.iter().copied().collect());
         if !self.can_participate(input) {
             // all-empty families => void pseudosphere
-            let families = participants
-                .iter()
-                .map(|p| (*p, BTreeSet::new()))
-                .collect();
+            let families = participants.iter().map(|p| (*p, BTreeSet::new())).collect();
             return Pseudosphere::new(base, families).expect("families cover base");
         }
         let families = participants
@@ -109,26 +105,42 @@ impl AsyncModel {
     }
 
     /// The explicit `r`-round protocol complex `A^r(input)`.
-    pub fn protocol_complex<I: Label>(&self, input: &InputSimplex<I>, rounds: usize) -> Complex<View<I>> {
+    pub fn protocol_complex<I: Label>(
+        &self,
+        input: &InputSimplex<I>,
+        rounds: usize,
+    ) -> Complex<View<I>> {
         self.round_complex(&input_views(input), rounds)
     }
 
     /// Internal recursion on simplexes whose vertices are already views.
     fn round_complex<I: Label>(&self, state: &Simplex<View<I>>, rounds: usize) -> Complex<View<I>> {
+        // Accumulate the whole recursion into one interned builder:
+        // views are interned once and branch absorption runs on ids.
+        let mut out = InternedBuilder::new();
+        self.round_into(state, rounds, &mut out);
+        out.finish()
+    }
+
+    fn round_into<I: Label>(
+        &self,
+        state: &Simplex<View<I>>,
+        rounds: usize,
+        out: &mut InternedBuilder<View<I>>,
+    ) {
         if state.len() < self.min_heard() {
-            return Complex::new();
+            return;
         }
         if rounds == 0 {
-            return Complex::simplex(state.clone());
+            out.add_facet(state);
+            return;
         }
         // one round: each process independently hears a set of ≥ n+1-f
         // participants (including itself)
         let one = self.one_round_views(state);
-        let mut out = Complex::new();
         for facet in one.facets() {
-            out = out.union(&self.round_complex(facet, rounds - 1));
+            self.round_into(facet, rounds - 1, out);
         }
-        out
     }
 
     /// One round applied to a simplex of views: the facets are all
@@ -138,9 +150,8 @@ impl AsyncModel {
         let senders: Vec<&View<I>> = state.vertices().iter().collect();
         let ids: BTreeSet<ProcessId> = senders.iter().map(|v| v.process()).collect();
         assert_eq!(ids.len(), senders.len(), "duplicate process in state");
-        let mut out = Complex::new();
         if ids.len() < self.min_heard() {
-            return out;
+            return Complex::new();
         }
         // per-process admissible heard sets
         let choices: Vec<Vec<BTreeSet<ProcessId>>> = senders
@@ -158,35 +169,27 @@ impl AsyncModel {
                     .collect()
             })
             .collect();
-        let view_of = |p: ProcessId| -> &View<I> {
-            senders.iter().find(|v| v.process() == p).unwrap()
-        };
+        let view_of =
+            |p: ProcessId| -> &View<I> { senders.iter().find(|v| v.process() == p).unwrap() };
+        // All facets are distinct with one vertex per sender, hence an
+        // anti-chain: no absorption scans needed.
+        let mut out = InternedBuilder::new();
         let mut idx = vec![0usize; senders.len()];
         loop {
-            let facet = Simplex::new(
-                senders
-                    .iter()
-                    .zip(&idx)
-                    .map(|(v, &i)| {
-                        let heard_ids = &choices[senders
-                            .iter()
-                            .position(|s| s.process() == v.process())
-                            .unwrap()][i];
-                        View::Round {
-                            process: v.process(),
-                            heard: heard_ids
-                                .iter()
-                                .map(|q| (*q, view_of(*q).clone()))
-                                .collect(),
-                        }
-                    })
-                    .collect(),
-            );
-            out.add_simplex(facet);
+            out.add_facet_vertices_unchecked(senders.iter().enumerate().map(|(j, v)| {
+                let heard_ids = &choices[j][idx[j]];
+                View::Round {
+                    process: v.process(),
+                    heard: heard_ids
+                        .iter()
+                        .map(|q| (*q, view_of(*q).clone()))
+                        .collect(),
+                }
+            }));
             let mut i = 0;
             loop {
                 if i == senders.len() {
-                    return out;
+                    return out.finish();
                 }
                 idx[i] += 1;
                 if idx[i] < choices[i].len() {

@@ -15,7 +15,7 @@
 use std::collections::BTreeSet;
 
 use ps_core::ProcessId;
-use ps_topology::{Complex, Label, Simplex};
+use ps_topology::{Complex, InternedBuilder, Label, Simplex};
 
 use crate::view::{input_views, InputSimplex, View};
 
@@ -41,17 +41,26 @@ impl IisModel {
         input: &InputSimplex<I>,
         rounds: usize,
     ) -> Complex<View<I>> {
-        self.rec(&input_views(input), rounds)
+        // One interned builder accumulates the whole iteration tree, so
+        // deep views are interned once and absorption runs on ids.
+        let mut out = InternedBuilder::new();
+        self.rec_into(&input_views(input), rounds, &mut out);
+        out.finish()
     }
 
-    fn rec<I: Label>(&self, state: &Simplex<View<I>>, rounds: usize) -> Complex<View<I>> {
+    fn rec_into<I: Label>(
+        &self,
+        state: &Simplex<View<I>>,
+        rounds: usize,
+        out: &mut InternedBuilder<View<I>>,
+    ) {
         if state.is_empty() {
-            return Complex::new();
+            return;
         }
         if rounds == 0 {
-            return Complex::simplex(state.clone());
+            out.add_facet(state);
+            return;
         }
-        let mut out = Complex::new();
         let views: Vec<&View<I>> = state.vertices().iter().collect();
         let ids: Vec<ProcessId> = views.iter().map(|v| v.process()).collect();
         for partition in ordered_partitions(&ids) {
@@ -68,18 +77,11 @@ impl IisModel {
                             (*q, (*qv).clone())
                         })
                         .collect();
-                    facet_verts.push(View::Round {
-                        process: *p,
-                        heard,
-                    });
+                    facet_verts.push(View::Round { process: *p, heard });
                 }
             }
-            let facet = Simplex::new(facet_verts);
-            for sub in self.rec(&facet, rounds - 1).facets() {
-                out.add_simplex(sub.clone());
-            }
+            self.rec_into(&Simplex::new(facet_verts), rounds - 1, out);
         }
-        out
     }
 
     /// Number of facets of the one-round complex on `m` participants:
@@ -129,17 +131,11 @@ fn ordered_partitions(items: &[ProcessId]) -> Vec<Vec<Vec<ProcessId>>> {
 
 /// Tiny helper: partition an enumerated iterator by a predicate.
 trait PartitionMap<T>: Iterator {
-    fn partition_map(
-        self,
-        f: impl FnMut(Self::Item) -> (bool, T),
-    ) -> (Vec<T>, Vec<T>);
+    fn partition_map(self, f: impl FnMut(Self::Item) -> (bool, T)) -> (Vec<T>, Vec<T>);
 }
 
 impl<I: Iterator, T> PartitionMap<T> for I {
-    fn partition_map(
-        self,
-        mut f: impl FnMut(Self::Item) -> (bool, T),
-    ) -> (Vec<T>, Vec<T>) {
+    fn partition_map(self, mut f: impl FnMut(Self::Item) -> (bool, T)) -> (Vec<T>, Vec<T>) {
         let mut yes = Vec::new();
         let mut no = Vec::new();
         for item in self {

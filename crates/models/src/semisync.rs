@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use ps_core::{subsets_up_to_size_lex, ProcessId, Pseudosphere, PseudosphereUnion};
-use ps_topology::{Complex, Label, Simplex};
+use ps_topology::{Complex, InternedBuilder, Label, Simplex};
 
 use crate::view::{ss_input_views, InputSimplex, SsView};
 
@@ -98,7 +98,12 @@ impl SemiSyncModel {
     }
 
     /// Convenience: derive the combinatorial model from timing parameters.
-    pub fn from_timing(n_plus_1: usize, k_per_round: usize, f_total: usize, t: SemiSyncTiming) -> Self {
+    pub fn from_timing(
+        n_plus_1: usize,
+        k_per_round: usize,
+        f_total: usize,
+        t: SemiSyncTiming,
+    ) -> Self {
         Self::new(n_plus_1, k_per_round, f_total, t.microrounds())
     }
 
@@ -185,8 +190,7 @@ impl SemiSyncModel {
         k_set: &BTreeSet<ProcessId>,
         pattern: &FailurePattern,
     ) -> Pseudosphere<ProcessId, ViewVector> {
-        let participants: BTreeSet<ProcessId> =
-            input.vertices().iter().map(|(p, _)| *p).collect();
+        let participants: BTreeSet<ProcessId> = input.vertices().iter().map(|(p, _)| *p).collect();
         let survivors: BTreeSet<ProcessId> = participants
             .iter()
             .copied()
@@ -206,8 +210,7 @@ impl SemiSyncModel {
         &self,
         input: &InputSimplex<I>,
     ) -> PseudosphereUnion<ProcessId, ViewVector> {
-        let participants: BTreeSet<ProcessId> =
-            input.vertices().iter().map(|(p, _)| *p).collect();
+        let participants: BTreeSet<ProcessId> = input.vertices().iter().map(|(p, _)| *p).collect();
         let cap = self.k_per_round.min(self.f_total);
         let mut union = PseudosphereUnion::new();
         for k_set in subsets_up_to_size_lex(&participants, cap) {
@@ -226,8 +229,7 @@ impl SemiSyncModel {
         k_set: &BTreeSet<ProcessId>,
         pattern: &FailurePattern,
     ) -> PseudosphereUnion<ProcessId, ViewVector> {
-        let participants: BTreeSet<ProcessId> =
-            input.vertices().iter().map(|(p, _)| *p).collect();
+        let participants: BTreeSet<ProcessId> = input.vertices().iter().map(|(p, _)| *p).collect();
         let survivors: BTreeSet<ProcessId> = participants
             .iter()
             .copied()
@@ -267,24 +269,37 @@ impl SemiSyncModel {
         budget: usize,
         rounds: usize,
     ) -> Complex<SsView<I>> {
+        // Accumulate the whole execution tree into one interned builder:
+        // views are interned once and branch absorption runs on ids.
+        let mut out = InternedBuilder::new();
+        self.rec_into(state, budget, rounds, &mut out);
+        out.finish()
+    }
+
+    fn rec_into<I: Label>(
+        &self,
+        state: &Simplex<SsView<I>>,
+        budget: usize,
+        rounds: usize,
+        out: &mut InternedBuilder<SsView<I>>,
+    ) {
         if state.is_empty() {
-            return Complex::new();
+            return;
         }
         if rounds == 0 {
-            return Complex::simplex(state.clone());
+            out.add_facet(state);
+            return;
         }
         let ids: BTreeSet<ProcessId> = state.vertices().iter().map(|v| v.process()).collect();
         let cap = self.k_per_round.min(budget);
-        let mut out = Complex::new();
         for k_set in subsets_up_to_size_lex(&ids, cap) {
             for pattern in self.failure_patterns(&k_set) {
                 let one = self.one_round_views(state, &k_set, &pattern);
                 for facet in one.facets() {
-                    out = out.union(&self.rec(facet, budget - k_set.len(), rounds - 1));
+                    self.rec_into(facet, budget - k_set.len(), rounds - 1, out);
                 }
             }
         }
-        out
     }
 
     /// One semi-synchronous round on a simplex of views: the realized
@@ -302,38 +317,32 @@ impl SemiSyncModel {
             .copied()
             .filter(|v| !k_set.contains(&v.process()))
             .collect();
-        let mut out = Complex::new();
+        let mut out = InternedBuilder::new();
         if survivors.is_empty() {
-            return out;
+            return out.finish();
         }
-        let view_of = |p: ProcessId| -> &SsView<I> {
-            senders.iter().find(|v| v.process() == p).unwrap()
-        };
+        let view_of =
+            |p: ProcessId| -> &SsView<I> { senders.iter().find(|v| v.process() == p).unwrap() };
         let box_views = self.view_box(&ids, pattern);
         let mut idx = vec![0usize; survivors.len()];
         loop {
-            let facet = Simplex::new(
-                survivors
-                    .iter()
-                    .zip(&idx)
-                    .map(|(v, &i)| {
-                        let vector = &box_views[i];
-                        SsView::Round {
-                            process: v.process(),
-                            heard: vector
-                                .iter()
-                                .filter(|(_, mu)| **mu > 0)
-                                .map(|(q, mu)| (*q, (*mu, view_of(*q).clone())))
-                                .collect(),
-                        }
-                    })
-                    .collect(),
-            );
-            out.add_simplex(facet);
+            // Distinct view vectors stay distinct after the μ > 0 filter,
+            // so the odometer emits an anti-chain of equal-dim facets.
+            out.add_facet_vertices_unchecked(survivors.iter().zip(&idx).map(|(v, &i)| {
+                let vector = &box_views[i];
+                SsView::Round {
+                    process: v.process(),
+                    heard: vector
+                        .iter()
+                        .filter(|(_, mu)| **mu > 0)
+                        .map(|(q, mu)| (*q, (*mu, view_of(*q).clone())))
+                        .collect(),
+                }
+            }));
             let mut i = 0;
             loop {
                 if i == survivors.len() {
-                    return out;
+                    return out.finish();
                 }
                 idx[i] += 1;
                 if idx[i] < box_views.len() {
@@ -394,7 +403,7 @@ mod tests {
         let k: BTreeSet<ProcessId> = [pid(0), pid(1)].into_iter().collect();
         let pats = m.failure_patterns(&k);
         assert_eq!(pats.len(), 4); // p^|K| = 2^2
-        // first fails everyone at p = 2, last at 1
+                                   // first fails everyone at p = 2, last at 1
         assert_eq!(pats[0][&pid(0)], 2);
         assert_eq!(pats[0][&pid(1)], 2);
         assert_eq!(pats[3][&pid(0)], 1);
@@ -443,10 +452,7 @@ mod tests {
         for pattern in m.failure_patterns(&k) {
             let sym = m.member_pseudosphere(&input, &k, &pattern).realize();
             let views = m.one_round_views(&ss_input_views(&input), &k, &pattern);
-            assert!(
-                are_isomorphic(&sym, &views),
-                "pattern {pattern:?} mismatch"
-            );
+            assert!(are_isomorphic(&sym, &views), "pattern {pattern:?} mismatch");
         }
     }
 

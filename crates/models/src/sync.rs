@@ -19,7 +19,7 @@
 use std::collections::BTreeSet;
 
 use ps_core::{subsets_up_to_size_lex, ProcessId, Pseudosphere, PseudosphereUnion};
-use ps_topology::{Complex, Label, Simplex};
+use ps_topology::{Complex, InternedBuilder, Label, Simplex};
 
 use crate::view::{input_views, InputSimplex, View};
 
@@ -59,8 +59,7 @@ impl SyncModel {
         input: &InputSimplex<I>,
         failure_set: &BTreeSet<ProcessId>,
     ) -> Pseudosphere<ProcessId, BTreeSet<ProcessId>> {
-        let participants: BTreeSet<ProcessId> =
-            input.vertices().iter().map(|(p, _)| *p).collect();
+        let participants: BTreeSet<ProcessId> = input.vertices().iter().map(|(p, _)| *p).collect();
         let survivors: BTreeSet<ProcessId> = participants
             .iter()
             .copied()
@@ -86,8 +85,7 @@ impl SyncModel {
         &self,
         input: &InputSimplex<I>,
     ) -> PseudosphereUnion<ProcessId, BTreeSet<ProcessId>> {
-        let participants: BTreeSet<ProcessId> =
-            input.vertices().iter().map(|(p, _)| *p).collect();
+        let participants: BTreeSet<ProcessId> = input.vertices().iter().map(|(p, _)| *p).collect();
         let cap = self.k_per_round.min(self.f_total);
         subsets_up_to_size_lex(&participants, cap)
             .into_iter()
@@ -152,31 +150,36 @@ impl SyncModel {
         input: &InputSimplex<I>,
         rounds: usize,
     ) -> Complex<View<I>> {
-        self.rec(&input_views(input), self.f_total, rounds)
+        // The whole execution tree accumulates into one interned
+        // builder: every view is interned once at creation and facet
+        // absorption across branches runs on ids.
+        let mut out = InternedBuilder::new();
+        self.rec_into(&input_views(input), self.f_total, rounds, &mut out);
+        out.finish()
     }
 
-    fn rec<I: Label>(
+    fn rec_into<I: Label>(
         &self,
         state: &Simplex<View<I>>,
         budget: usize,
         rounds: usize,
-    ) -> Complex<View<I>> {
+        out: &mut InternedBuilder<View<I>>,
+    ) {
         if state.is_empty() {
-            return Complex::new();
+            return;
         }
         if rounds == 0 {
-            return Complex::simplex(state.clone());
+            out.add_facet(state);
+            return;
         }
         let ids: BTreeSet<ProcessId> = state.vertices().iter().map(|v| v.process()).collect();
         let cap = self.k_per_round.min(budget);
-        let mut out = Complex::new();
         for failure_set in subsets_up_to_size_lex(&ids, cap) {
             let one = self.one_round_views(state, &failure_set);
             for facet in one.facets() {
-                out = out.union(&self.rec(facet, budget - failure_set.len(), rounds - 1));
+                self.rec_into(facet, budget - failure_set.len(), rounds - 1, out);
             }
         }
-        out
     }
 
     /// One synchronous round on a simplex of views with failure set `K`:
@@ -192,9 +195,8 @@ impl SyncModel {
             .copied()
             .filter(|v| !failure_set.contains(&v.process()))
             .collect();
-        let mut out = Complex::new();
         if survivors.is_empty() {
-            return out;
+            return Complex::new();
         }
         let survivor_ids: BTreeSet<ProcessId> = survivors.iter().map(|v| v.process()).collect();
         let fail_in: BTreeSet<ProcessId> = senders
@@ -202,31 +204,25 @@ impl SyncModel {
             .map(|v| v.process())
             .filter(|p| failure_set.contains(p))
             .collect();
-        let view_of = |p: ProcessId| -> &View<I> {
-            senders.iter().find(|v| v.process() == p).unwrap()
-        };
+        let view_of =
+            |p: ProcessId| -> &View<I> { senders.iter().find(|v| v.process() == p).unwrap() };
         let subsets = subsets_up_to_size_lex(&fail_in, fail_in.len());
+        // All facets are distinct and of equal dimension (one vertex per
+        // survivor), hence an anti-chain: no absorption scans needed.
+        let mut out = InternedBuilder::new();
         let mut idx = vec![0usize; survivors.len()];
         loop {
-            let facet = Simplex::new(
-                survivors
-                    .iter()
-                    .zip(&idx)
-                    .map(|(v, &i)| {
-                        let heard: BTreeSet<ProcessId> =
-                            survivor_ids.union(&subsets[i]).copied().collect();
-                        View::Round {
-                            process: v.process(),
-                            heard: heard.iter().map(|q| (*q, view_of(*q).clone())).collect(),
-                        }
-                    })
-                    .collect(),
-            );
-            out.add_simplex(facet);
+            out.add_facet_vertices_unchecked(survivors.iter().zip(&idx).map(|(v, &i)| {
+                let heard: BTreeSet<ProcessId> = survivor_ids.union(&subsets[i]).copied().collect();
+                View::Round {
+                    process: v.process(),
+                    heard: heard.iter().map(|q| (*q, view_of(*q).clone())).collect(),
+                }
+            }));
             let mut i = 0;
             loop {
                 if i == survivors.len() {
-                    return out;
+                    return out.finish();
                 }
                 idx[i] += 1;
                 if idx[i] < subsets.len() {
@@ -411,10 +407,7 @@ mod tests {
         for k_set in subsets_up_to_size_lex(&ps_core::process_set(3), 2) {
             let sym = m.one_round_failure_pseudosphere(&input, &k_set).realize();
             let views = m.one_round_views(&input_views(&input), &k_set);
-            assert!(
-                are_isomorphic(&sym, &views),
-                "K = {k_set:?} mismatch"
-            );
+            assert!(are_isomorphic(&sym, &views), "K = {k_set:?} mismatch");
         }
     }
 

@@ -50,9 +50,7 @@ impl<I: Label> View<I> {
     pub fn round(&self) -> usize {
         match self {
             View::Input { .. } => 0,
-            View::Round { heard, .. } => {
-                1 + heard.values().map(|v| v.round()).max().unwrap_or(0)
-            }
+            View::Round { heard, .. } => 1 + heard.values().map(|v| v.round()).max().unwrap_or(0),
         }
     }
 
@@ -164,9 +162,7 @@ impl<I: Label> SsView<I> {
     pub fn view_vector(&self) -> BTreeMap<ProcessId, u32> {
         match self {
             SsView::Input { .. } => BTreeMap::new(),
-            SsView::Round { heard, .. } => {
-                heard.iter().map(|(p, (mu, _))| (*p, *mu)).collect()
-            }
+            SsView::Round { heard, .. } => heard.iter().map(|(p, (mu, _))| (*p, *mu)).collect(),
         }
     }
 
@@ -314,7 +310,9 @@ mod tests {
         let r1b = round1(1, &[(0, 5), (1, 6)]);
         let v = View::Round {
             process: ProcessId(0),
-            heard: [(ProcessId(0), r1a), (ProcessId(1), r1b)].into_iter().collect(),
+            heard: [(ProcessId(0), r1a), (ProcessId(1), r1b)]
+                .into_iter()
+                .collect(),
         };
         assert_eq!(v.round(), 2);
         assert_eq!(v.input(), &5);
@@ -336,8 +334,26 @@ mod tests {
         let v: SsView<u8> = SsView::Round {
             process: ProcessId(0),
             heard: [
-                (ProcessId(0), (4u32, SsView::Input { process: ProcessId(0), input: 1 })),
-                (ProcessId(1), (2u32, SsView::Input { process: ProcessId(1), input: 0 })),
+                (
+                    ProcessId(0),
+                    (
+                        4u32,
+                        SsView::Input {
+                            process: ProcessId(0),
+                            input: 1,
+                        },
+                    ),
+                ),
+                (
+                    ProcessId(1),
+                    (
+                        2u32,
+                        SsView::Input {
+                            process: ProcessId(1),
+                            input: 0,
+                        },
+                    ),
+                ),
             ]
             .into_iter()
             .collect(),

@@ -1,0 +1,445 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors a minimal property-testing harness under the same
+//! paths the real crate exposes: the [`proptest!`] macro with a
+//! `#![proptest_config(...)]` header, [`strategy::Strategy`] with
+//! `prop_map`, integer-range strategies, `prop::collection::{vec,
+//! btree_set}`, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate: generation is a deterministic
+//! splitmix64 stream (no persisted failure seeds) and there is **no
+//! shrinking** — a failing case reports the generated inputs verbatim.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRunner;
+
+    /// A recipe for generating random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value from `runner`'s random stream.
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F> core::fmt::Debug for Map<S, F> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str("Map { .. }")
+        }
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.source.new_value(runner))
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (runner.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + off) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128) - (lo as i128) + 1;
+                    let off = (runner.next_u64() as i128).rem_euclid(span);
+                    ((lo as i128) + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections of generated values.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::collections::BTreeSet;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(self, runner: &mut TestRunner) -> usize {
+            (self.lo..=self.hi).new_value(runner)
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = self.size.pick(runner);
+            (0..n).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s whose elements come from `element`.
+    ///
+    /// The size range bounds the *requested* number of elements; if the
+    /// element domain is too small to produce that many distinct values
+    /// the set may come out smaller, as in the real crate.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`btree_set`].
+    #[derive(Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> BTreeSet<S::Value> {
+            let target = self.size.pick(runner);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 10 * (target + 1) {
+                out.insert(self.element.new_value(runner));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test execution: configuration, the case driver, and errors.
+
+    /// How many cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!`; it is skipped.
+        Reject(String),
+        /// An assertion failed; the property is falsified.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection (skipped case) with the given reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Drives case generation: owns the config and the random stream.
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed, deterministic seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                state: 0x9332_11E5_C454_0F1B,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Next 64 bits of the splitmix64 stream.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                for case in 0..runner.cases() {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut runner);)+
+                    let mut desc = ::std::string::String::new();
+                    $(
+                        desc.push_str(concat!(stringify!($arg), " = "));
+                        desc.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    #[allow(unused_mut)]
+                    let mut case_body =
+                        move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        };
+                    match case_body() {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {case} failed: {msg}\n  inputs: {desc}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` for property bodies: failure falsifies the case instead of
+/// panicking immediately, so inputs can be reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(va == vb, "assertion failed: `{:?}` == `{:?}`", va, vb);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va == vb,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            va,
+            vb,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(va != vb, "assertion failed: `{:?}` != `{:?}`", va, vb);
+    }};
+}
+
+/// Vetoes the current case unless `cond` holds (the case is skipped,
+/// not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..9, y in -4i32..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u8..5, 2..=6usize),
+            s in prop::collection::btree_set(0u32..100, 1..=4usize),
+        ) {
+            prop_assert!((2..=6).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+        }
+
+        #[test]
+        fn map_and_assume_work(n in 0u32..50) {
+            prop_assume!(n != 13);
+            let strat = (0u32..10).prop_map(|k| k * 2);
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(1));
+            let even = strat.new_value(&mut runner);
+            prop_assert_eq!(even % 2, 0, "n was {}", n);
+            prop_assert_ne!(n, 13);
+        }
+    }
+}

@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ps_core::{subsets_of_min_size, ProcessId};
 use ps_models::View;
-use ps_topology::{Complex, Simplex};
+use ps_topology::{Complex, InternedBuilder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -88,8 +88,7 @@ impl AsyncAdversary for RandomAsyncAdversary {
                 let extra = self
                     .rng
                     .gen_range(min_heard.saturating_sub(1)..=others.len());
-                let mut heard: BTreeSet<ProcessId> =
-                    others.into_iter().take(extra).collect();
+                let mut heard: BTreeSet<ProcessId> = others.into_iter().take(extra).collect();
                 heard.insert(*p);
                 (*p, heard)
             })
@@ -168,10 +167,8 @@ impl<P: RoundProtocol> AsyncExecutor<P> {
                 .collect();
             let mut next = BTreeMap::new();
             for p in participants {
-                let inbox: BTreeMap<ProcessId, P::Msg> = plan[p]
-                    .iter()
-                    .map(|q| (*q, msgs[q].clone()))
-                    .collect();
+                let inbox: BTreeMap<ProcessId, P::Msg> =
+                    plan[p].iter().map(|q| (*q, msgs[q].clone())).collect();
                 let st = self
                     .protocol
                     .on_round(states.remove(p).unwrap(), &inbox, round);
@@ -204,16 +201,27 @@ pub fn enumerate_async_views(
     let n_plus_1 = inputs.len();
     let min_heard = n_plus_1.saturating_sub(f);
     let protocol = FullInformation::new();
-    let mut out = Complex::new();
     if participants.len() < min_heard {
-        return out;
+        return Complex::new();
     }
     let init: BTreeMap<ProcessId, View<u8>> = participants
         .iter()
         .map(|p| (*p, protocol.init(*p, n_plus_1, inputs[p.index()])))
         .collect();
-    rec(&protocol, init, participants, min_heard, rounds, 1, &mut out);
-    return out;
+    // Views intern once into a shared pool; every leaf facet spans the
+    // full participant set, so equal-dim facets form an anti-chain and
+    // absorption scans are skipped (the set dedups repeats).
+    let mut out = InternedBuilder::new();
+    rec(
+        &protocol,
+        init,
+        participants,
+        min_heard,
+        rounds,
+        1,
+        &mut out,
+    );
+    return out.finish();
 
     fn rec(
         protocol: &FullInformation,
@@ -222,10 +230,10 @@ pub fn enumerate_async_views(
         min_heard: usize,
         rounds: usize,
         round: usize,
-        out: &mut Complex<View<u8>>,
+        out: &mut InternedBuilder<View<u8>>,
     ) {
         if rounds == 0 {
-            out.add_simplex(Simplex::new(states.into_values().collect()));
+            out.add_facet_vertices_unchecked(states.into_values());
             return;
         }
         let procs: Vec<ProcessId> = participants.iter().copied().collect();
@@ -253,7 +261,15 @@ pub fn enumerate_async_views(
                     .collect();
                 next.insert(*p, protocol.on_round(states[p].clone(), &inbox, round));
             }
-            rec(protocol, next, participants, min_heard, rounds - 1, round + 1, out);
+            rec(
+                protocol,
+                next,
+                participants,
+                min_heard,
+                rounds - 1,
+                round + 1,
+                out,
+            );
             let mut i = 0;
             loop {
                 if i == procs.len() {

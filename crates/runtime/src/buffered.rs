@@ -146,9 +146,7 @@ impl<P: RoundProtocol> BufferedAsyncExecutor<P> {
                         }
                     }
                 }
-                let st = self
-                    .protocol
-                    .on_round(states[q].clone(), &inbox, round);
+                let st = self.protocol.on_round(states[q].clone(), &inbox, round);
                 next.insert(*q, st);
             }
             states = next;

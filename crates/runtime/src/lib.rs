@@ -26,7 +26,7 @@ pub mod protocol;
 pub use protocol::{FullInformation, RoundProtocol};
 
 pub mod trace;
-pub use trace::SyncTrace;
+pub use trace::{final_view_complex, SyncTrace};
 
 pub mod sync_exec;
 pub use sync_exec::{
@@ -48,6 +48,6 @@ pub use buffered::{BufferedAsyncExecutor, ChannelStats};
 
 pub mod semisync_exec;
 pub use semisync_exec::{
-    Lockstep, RandomTimedAdversary, ScriptedPattern, StretchAdversary, TimedAdversary,
-    TimedEvent, TimedExecutor, TimedParams, TimedProtocol, TimedTrace,
+    Lockstep, RandomTimedAdversary, ScriptedPattern, StretchAdversary, TimedAdversary, TimedEvent,
+    TimedExecutor, TimedParams, TimedProtocol, TimedTrace,
 };

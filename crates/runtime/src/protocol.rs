@@ -85,7 +85,9 @@ impl RoundProtocol for FullInformation {
     ) -> View<u8> {
         let mut heard = received.clone();
         // the process always hears itself
-        heard.entry(state.process()).or_insert_with(|| state.clone());
+        heard
+            .entry(state.process())
+            .or_insert_with(|| state.clone());
         View::Round {
             process: state.process(),
             heard,

@@ -65,8 +65,13 @@ pub trait TimedProtocol {
     type Output: Label;
 
     /// Initial state.
-    fn init(&self, me: ProcessId, n_plus_1: usize, input: Self::Input, params: &TimedParams)
-        -> Self::State;
+    fn init(
+        &self,
+        me: ProcessId,
+        n_plus_1: usize,
+        input: Self::Input,
+        params: &TimedParams,
+    ) -> Self::State;
 
     /// One step at time `now` (the `step`-th step, 0-based), with the
     /// messages delivered since the previous step. Returns the new state,
@@ -389,8 +394,14 @@ type EventHeap<M> = BinaryHeap<Reverse<(u64, EventKind<M>, u64)>>;
 enum EventKind<M> {
     // Deliveries sort before steps at equal times so a step sees all
     // messages that arrived "by" its step time.
-    Deliver { dst: ProcessId, src: ProcessId, msg: M },
-    Step { p: ProcessId },
+    Deliver {
+        dst: ProcessId,
+        src: ProcessId,
+        msg: M,
+    },
+    Step {
+        p: ProcessId,
+    },
 }
 
 /// The timed discrete-event executor.
@@ -484,8 +495,7 @@ impl<P: TimedProtocol> TimedExecutor<P> {
                 EventKind::Step { p } => {
                     if let Some(crash_at) = adversary.crash_time(p) {
                         if now >= crash_at {
-                            if let std::collections::btree_map::Entry::Vacant(e) =
-                                crashes.entry(p)
+                            if let std::collections::btree_map::Entry::Vacant(e) = crashes.entry(p)
                             {
                                 e.insert(crash_at);
                                 events.push(TimedEvent::Crash(crash_at, p));
@@ -500,8 +510,7 @@ impl<P: TimedProtocol> TimedExecutor<P> {
                     let inbox = std::mem::take(inboxes.get_mut(&p).unwrap());
                     let step = steps[&p];
                     let st = states.remove(&p).unwrap();
-                    let (st, broadcast, decision) =
-                        self.protocol.on_step(st, now, step, &inbox);
+                    let (st, broadcast, decision) = self.protocol.on_step(st, now, step, &inbox);
                     states.insert(p, st);
                     *steps.get_mut(&p).unwrap() += 1;
                     if let Some(msg) = broadcast {
@@ -512,9 +521,8 @@ impl<P: TimedProtocol> TimedExecutor<P> {
                             let delay = adversary.message_delay(p, *q, now, &self.params);
                             assert!(delay <= self.params.d, "message delay exceeds d");
                             let channel = (p, *q);
-                            let at = (now + delay).max(
-                                last_delivery.get(&channel).copied().unwrap_or(0),
-                            );
+                            let at = (now + delay)
+                                .max(last_delivery.get(&channel).copied().unwrap_or(0));
                             last_delivery.insert(channel, at);
                             heap.push(Reverse((
                                 at,
@@ -662,7 +670,10 @@ mod tests {
                 inbox: &[(ProcessId, u8)],
             ) -> (u8, Option<u8>, Option<u8>) {
                 let broadcast = (step == 0).then_some(state);
-                let decide = inbox.first().map(|(_, v)| *v).or((step >= 50).then_some(state));
+                let decide = inbox
+                    .first()
+                    .map(|(_, v)| *v)
+                    .or((step >= 50).then_some(state));
                 (state, broadcast, decide)
             }
         }

@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ps_core::{subsets_up_to_size_lex, ProcessId};
 use ps_models::View;
-use ps_topology::{Complex, Simplex};
+use ps_topology::{Complex, InternedBuilder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -252,17 +252,12 @@ pub fn enumerate_sync_views(
             (p, protocol.init(p, n_plus_1, *v))
         })
         .collect();
-    let mut out = Complex::new();
-    enumerate_rec(
-        &protocol,
-        init,
-        k_per_round,
-        f_total,
-        rounds,
-        1,
-        &mut out,
-    );
-    out
+    // Leaf facets vary in dimension (crash sets shrink the alive set),
+    // so absorption is still needed — but it runs on interned ids with
+    // each view hashed into the pool exactly once.
+    let mut out = InternedBuilder::new();
+    enumerate_rec(&protocol, init, k_per_round, f_total, rounds, 1, &mut out);
+    out.finish()
 }
 
 fn enumerate_rec(
@@ -272,19 +267,18 @@ fn enumerate_rec(
     budget: usize,
     rounds: usize,
     round: usize,
-    out: &mut Complex<View<u8>>,
+    out: &mut InternedBuilder<View<u8>>,
 ) {
     if rounds == 0 {
         if !states.is_empty() {
-            out.add_simplex(Simplex::new(states.into_values().collect()));
+            out.add_facet_vertices(states.into_values());
         }
         return;
     }
     let alive: BTreeSet<ProcessId> = states.keys().copied().collect();
     let cap = k_per_round.min(budget);
     for crash_set in subsets_up_to_size_lex(&alive, cap) {
-        let survivors: BTreeSet<ProcessId> =
-            alive.difference(&crash_set).copied().collect();
+        let survivors: BTreeSet<ProcessId> = alive.difference(&crash_set).copied().collect();
         if survivors.is_empty() {
             continue;
         }
@@ -309,10 +303,7 @@ fn enumerate_rec(
                         inbox.insert(*c, states[c].clone());
                     }
                 }
-                next.insert(
-                    *s,
-                    protocol.on_round(states[s].clone(), &inbox, round),
-                );
+                next.insert(*s, protocol.on_round(states[s].clone(), &inbox, round));
             }
             enumerate_rec(
                 protocol,

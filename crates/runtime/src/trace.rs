@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use ps_core::ProcessId;
-use ps_topology::Label;
+use ps_topology::{Complex, InternedBuilder, Label};
 
 /// The record of one synchronous (or round-structured) execution.
 #[derive(Clone, Debug)]
@@ -100,6 +100,26 @@ impl<S: Label, O: Label> SyncTrace<S, O> {
     }
 }
 
+/// Builds the complex of final global states from a batch of traces:
+/// one facet per trace, spanned by its surviving processes' final
+/// states. States intern into one shared vertex pool, so facet
+/// absorption across traces runs on dense ids rather than on the deep
+/// state labels.
+pub fn final_view_complex<S, O, I>(traces: I) -> Complex<S>
+where
+    S: Label,
+    O: Label,
+    I: IntoIterator<Item = SyncTrace<S, O>>,
+{
+    let mut out = InternedBuilder::new();
+    for t in traces {
+        if !t.final_states.is_empty() {
+            out.add_facet_vertices(t.final_states.into_values());
+        }
+    }
+    out.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,10 +127,18 @@ mod tests {
     fn sample() -> SyncTrace<u8, u8> {
         let mut t: SyncTrace<u8, u8> = SyncTrace::new();
         t.record_crash(ProcessId(2), 1);
-        t.record_round([(ProcessId(0), 1u8), (ProcessId(1), 2u8)].into_iter().collect());
+        t.record_round(
+            [(ProcessId(0), 1u8), (ProcessId(1), 2u8)]
+                .into_iter()
+                .collect(),
+        );
         t.record_decision(ProcessId(0), 1, 5);
         t.record_decision(ProcessId(1), 1, 5);
-        t.finish([(ProcessId(0), 1u8), (ProcessId(1), 2u8)].into_iter().collect());
+        t.finish(
+            [(ProcessId(0), 1u8), (ProcessId(1), 2u8)]
+                .into_iter()
+                .collect(),
+        );
         t
     }
 
@@ -136,5 +164,24 @@ mod tests {
         assert!(!t.satisfies_validity(&[7u8].into_iter().collect()));
         assert!(t.satisfies_termination(3)); // P2 crashed, P0/P1 decided
         assert!(!t.satisfies_termination(4)); // P3 never decided
+    }
+
+    #[test]
+    fn final_view_complex_absorbs_subsumed_traces() {
+        let full = sample();
+        let mut partial: SyncTrace<u8, u8> = SyncTrace::new();
+        partial.finish([(ProcessId(0), 1u8)].into_iter().collect());
+        let mut empty: SyncTrace<u8, u8> = SyncTrace::new();
+        empty.finish(BTreeMap::new());
+        let c = final_view_complex([partial, full.clone(), empty]);
+        // {1} ⊂ {1, 2} is absorbed; the empty trace adds nothing
+        assert_eq!(c.facet_count(), 1);
+        assert_eq!(c.f_vector(), vec![2, 1]);
+
+        let mut other: SyncTrace<u8, u8> = SyncTrace::new();
+        other.finish([(ProcessId(1), 3u8)].into_iter().collect());
+        let c2 = final_view_complex([full, other]);
+        assert_eq!(c2.facet_count(), 2);
+        assert_eq!(c2.f_vector(), vec![3, 1]);
     }
 }

@@ -179,13 +179,9 @@ mod tests {
 
     #[test]
     fn composition_matches_manual_union() {
-        let phi = CarrierMap::from_fn(&triangle(), |simp| {
-            Complex::simplex(simp.map(|v| v + 10))
-        });
+        let phi = CarrierMap::from_fn(&triangle(), |simp| Complex::simplex(simp.map(|v| v + 10)));
         let inner = phi.total_image();
-        let psi = CarrierMap::from_fn(&inner, |simp| {
-            Complex::simplex(simp.map(|v| v + 100))
-        });
+        let psi = CarrierMap::from_fn(&inner, |simp| Complex::simplex(simp.map(|v| v + 100)));
         let comp = phi.compose(&psi);
         assert!(comp.is_monotone());
         let img = comp.image(&s(&[0, 1, 2]));

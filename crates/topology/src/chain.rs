@@ -6,8 +6,9 @@
 //! face obtained by deleting `v_i`. Over GF(2) signs disappear and the
 //! matrix is the face-incidence matrix.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
+use crate::intern::IdSimplex;
 use crate::matrix::{BitMatrix, IntMatrix};
 use crate::sparse::SparseBitMatrix;
 use crate::{Complex, Label, Simplex};
@@ -17,23 +18,52 @@ use crate::{Complex, Label, Simplex};
 /// Index `d` of [`ChainComplex::basis`] lists the `d`-simplexes in
 /// lexicographic order; that order indexes the rows/columns of the
 /// boundary matrices.
+///
+/// Internally the basis is also kept as interned [`IdSimplex`]es (over
+/// the canonical pool of the source complex, so id order equals label
+/// order): boundary-matrix construction enumerates codimension-1 faces
+/// and resolves their row indices entirely on ids, with one hash lookup
+/// per face instead of a binary search over label simplexes.
 #[derive(Clone)]
 pub struct ChainComplex<V> {
     /// `basis[d]` = the `d`-simplexes, lexicographically sorted.
     pub basis: Vec<Vec<Simplex<V>>>,
+    /// Interned mirror of `basis`, index-aligned per dimension.
+    id_basis: Vec<Vec<IdSimplex>>,
+    /// `id_index[d]` maps a `d`-simplex (interned) to its column index.
+    id_index: Vec<HashMap<IdSimplex, usize>>,
 }
 
 impl<V: Label> std::fmt::Debug for ChainComplex<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ChainComplex").field("basis", &self.basis).finish()
+        f.debug_struct("ChainComplex")
+            .field("basis", &self.basis)
+            .finish()
     }
 }
 
 impl<V: Label> ChainComplex<V> {
     /// Builds the chain complex of `k` (all simplexes enumerated once).
     pub fn of(k: &Complex<V>) -> Self {
+        let (pool, idc) = k.to_interned();
+        let id_basis = idc.all_simplices();
+        let basis = id_basis
+            .iter()
+            .map(|dim| dim.iter().map(|s| pool.resolve_simplex(s)).collect())
+            .collect();
+        let id_index = id_basis
+            .iter()
+            .map(|dim| {
+                dim.iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.clone(), i))
+                    .collect()
+            })
+            .collect();
         ChainComplex {
-            basis: k.all_simplices(),
+            basis,
+            id_basis,
+            id_index,
         }
     }
 
@@ -51,8 +81,8 @@ impl<V: Label> ChainComplex<V> {
         }
     }
 
-    fn index_of(&self, d: usize, s: &Simplex<V>) -> usize {
-        self.basis[d].binary_search(s).expect("face missing from basis")
+    fn id_index_of(&self, d: usize, s: &IdSimplex) -> usize {
+        *self.id_index[d].get(s).expect("face missing from basis")
     }
 
     /// The boundary matrix `∂_d` over GF(2); shape `n_{d-1} × n_d`.
@@ -75,9 +105,9 @@ impl<V: Label> ChainComplex<V> {
         }
         let rows = self.basis[d - 1].len();
         let mut m = BitMatrix::zero(rows, cols);
-        for (c, s) in self.basis[d].iter().enumerate() {
+        for (c, s) in self.id_basis[d].iter().enumerate() {
             for face in s.boundary_faces() {
-                m.set(self.index_of(d - 1, &face), c, true);
+                m.set(self.id_index_of(d - 1, &face), c, true);
             }
         }
         m
@@ -99,11 +129,11 @@ impl<V: Label> ChainComplex<V> {
             return SparseBitMatrix::from_columns(1, vec![vec![0]; cols]);
         }
         let rows = self.basis[d - 1].len();
-        let columns = self.basis[d]
+        let columns = self.id_basis[d]
             .iter()
             .map(|s| {
                 s.boundary_faces()
-                    .map(|face| self.index_of(d - 1, &face))
+                    .map(|face| self.id_index_of(d - 1, &face))
                     .collect()
             })
             .collect();
@@ -128,10 +158,10 @@ impl<V: Label> ChainComplex<V> {
         }
         let rows = self.basis[d - 1].len();
         let mut m = IntMatrix::zero(rows, cols);
-        for (c, s) in self.basis[d].iter().enumerate() {
+        for (c, s) in self.id_basis[d].iter().enumerate() {
             for (i, face) in s.boundary_faces().enumerate() {
                 let sign = if i % 2 == 0 { 1 } else { -1 };
-                m.set(self.index_of(d - 1, &face), c, sign);
+                m.set(self.id_index_of(d - 1, &face), c, sign);
             }
         }
         m
@@ -163,7 +193,12 @@ impl<V: Label> ChainComplex<V> {
     pub fn index_map(&self) -> Vec<BTreeMap<Simplex<V>, usize>> {
         self.basis
             .iter()
-            .map(|list| list.iter().enumerate().map(|(i, s)| (s.clone(), i)).collect())
+            .map(|list| {
+                list.iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.clone(), i))
+                    .collect()
+            })
             .collect()
     }
 }

@@ -26,7 +26,10 @@ impl<V: Label> std::fmt::Debug for FacetGraph<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FacetGraph")
             .field("facets", &self.facets.len())
-            .field("edges", &(self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2))
+            .field(
+                "edges",
+                &(self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2),
+            )
             .finish()
     }
 }

@@ -9,6 +9,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use crate::intern::{IdComplex, IdSimplex, VertexPool};
 use crate::{Label, Simplex};
 
 /// A finite abstract simplicial complex, stored as its set of facets.
@@ -74,6 +75,45 @@ impl<V: Label> Complex<V> {
         self.facets.insert(s);
     }
 
+    /// Interns the complex: a *canonical* [`VertexPool`] (ids in
+    /// ascending label order, so id order equals label order) together
+    /// with the facet anti-chain over ids. Heavy operations run on the
+    /// interned pair and convert back with [`Complex::from_interned`];
+    /// canonicality makes every enumeration byte-identical to the
+    /// label-typed path.
+    pub fn to_interned(&self) -> (VertexPool<V>, IdComplex) {
+        let mut pool = VertexPool::canonical(self.vertex_set());
+        let idc = self.intern_into(&mut pool);
+        (pool, idc)
+    }
+
+    /// Resolves an interned complex back to labels. The pool need not
+    /// be canonical: any bijective relabeling preserves the facet
+    /// anti-chain, so the facets are transferred without absorption
+    /// scans and simply re-sorted by label.
+    pub fn from_interned(pool: &VertexPool<V>, c: &IdComplex) -> Complex<V> {
+        Complex {
+            facets: c.facets().map(|s| pool.resolve_simplex(s)).collect(),
+        }
+    }
+
+    /// Interns all facets into an existing pool (unchecked transfer:
+    /// injective relabeling preserves the anti-chain).
+    fn intern_into(&self, pool: &mut VertexPool<V>) -> IdComplex {
+        let mut out = IdComplex::new();
+        for f in &self.facets {
+            out.insert_facet_unchecked(pool.intern_simplex(f));
+        }
+        out
+    }
+
+    /// A canonical pool covering the vertices of both complexes.
+    fn shared_pool(&self, other: &Complex<V>) -> VertexPool<V> {
+        let mut labels = self.vertex_set();
+        labels.extend(other.vertex_set());
+        VertexPool::canonical(labels)
+    }
+
     /// `true` iff the complex has no simplexes.
     pub fn is_void(&self) -> bool {
         self.facets.is_empty()
@@ -127,35 +167,30 @@ impl<V: Label> Complex<V> {
     }
 
     /// All simplexes of dimension `d` (non-negative `d`), deduplicated.
+    ///
+    /// Face enumeration and dedup run on interned ids.
     pub fn simplices_of_dim(&self, d: i32) -> BTreeSet<Simplex<V>> {
-        let mut out = BTreeSet::new();
         if d < 0 {
-            return out;
+            return BTreeSet::new();
         }
-        for f in &self.facets {
-            if f.dim() >= d {
-                out.extend(f.faces_of_dim(d));
-            }
-        }
-        out
+        let (pool, idc) = self.to_interned();
+        idc.simplices_of_dim(d)
+            .iter()
+            .map(|s| pool.resolve_simplex(s))
+            .collect()
     }
 
     /// All nonempty simplexes grouped by dimension: index `d` holds the
     /// `d`-simplexes. The outer vector has length `dim() + 1`.
+    ///
+    /// Closure enumeration and dedup run on interned ids; the canonical
+    /// pool keeps the per-dimension order identical to label order.
     pub fn all_simplices(&self) -> Vec<Vec<Simplex<V>>> {
-        let top = self.dim();
-        if top < 0 {
-            return Vec::new();
-        }
-        let mut by_dim: Vec<BTreeSet<Simplex<V>>> = vec![BTreeSet::new(); (top + 1) as usize];
-        for f in &self.facets {
-            for face in f.faces() {
-                if !face.is_empty() {
-                    by_dim[face.dim() as usize].insert(face);
-                }
-            }
-        }
-        by_dim.into_iter().map(|s| s.into_iter().collect()).collect()
+        let (pool, idc) = self.to_interned();
+        idc.all_simplices()
+            .into_iter()
+            .map(|dim| dim.iter().map(|s| pool.resolve_simplex(s)).collect())
+            .collect()
     }
 
     /// Total number of nonempty simplexes.
@@ -178,88 +213,95 @@ impl<V: Label> Complex<V> {
     }
 
     /// The `k`-skeleton: all simplexes of dimension at most `k`.
+    ///
+    /// Face enumeration and absorption run on interned ids.
     pub fn skeleton(&self, k: i32) -> Complex<V> {
         if k < 0 {
             return Complex::new();
         }
-        let mut out = Complex::new();
-        for f in &self.facets {
-            if f.dim() <= k {
-                out.add_simplex(f.clone());
-            } else {
-                for face in f.faces_of_dim(k) {
-                    out.add_simplex(face);
-                }
-            }
-        }
-        out
+        let (pool, idc) = self.to_interned();
+        Complex::from_interned(&pool, &idc.skeleton(k))
     }
 
     /// Union of two complexes.
+    ///
+    /// Both operands are interned into one shared canonical pool, so
+    /// the absorption scans compare ids, not labels.
     pub fn union(&self, other: &Complex<V>) -> Complex<V> {
-        let mut out = self.clone();
-        for f in &other.facets {
-            out.add_simplex(f.clone());
-        }
-        out
+        let mut pool = self.shared_pool(other);
+        let a = self.intern_into(&mut pool);
+        let b = other.intern_into(&mut pool);
+        Complex::from_interned(&pool, &a.union(&b))
     }
 
     /// Intersection of two complexes: the simplexes lying in both.
     ///
     /// For facet-represented complexes the facets of `K ∩ L` are the maximal
-    /// elements of `{ f ∩ g : f facet of K, g facet of L }`.
+    /// elements of `{ f ∩ g : f facet of K, g facet of L }`; the pairwise
+    /// intersections and absorption run on interned ids.
     pub fn intersection(&self, other: &Complex<V>) -> Complex<V> {
-        let mut out = Complex::new();
-        for f in &self.facets {
-            for g in &other.facets {
-                out.add_simplex(f.intersection(g));
-            }
-        }
-        out
+        let mut pool = self.shared_pool(other);
+        let a = self.intern_into(&mut pool);
+        let b = other.intern_into(&mut pool);
+        Complex::from_interned(&pool, &a.intersection(&b))
     }
 
     /// The subcomplex induced by the vertices satisfying `keep`.
+    ///
+    /// `keep` is evaluated once per vertex; restriction and absorption
+    /// run on interned ids.
     pub fn induced(&self, mut keep: impl FnMut(&V) -> bool) -> Complex<V> {
-        let mut out = Complex::new();
-        for f in &self.facets {
-            out.add_simplex(f.restrict(&mut keep));
-        }
-        out
+        let (pool, idc) = self.to_interned();
+        let keep_ids: Vec<bool> = pool.labels().iter().map(&mut keep).collect();
+        Complex::from_interned(&pool, &idc.induced(|id| keep_ids[id as usize]))
     }
 
     /// The *star* of `s`: all simplexes containing `s` (closure thereof).
+    ///
+    /// A subset of a facet anti-chain is an anti-chain, so the star is a
+    /// plain filter with no absorption scans.
     pub fn star(&self, s: &Simplex<V>) -> Complex<V> {
-        Complex::from_facets(
-            self.facets
+        Complex {
+            facets: self
+                .facets
                 .iter()
                 .filter(|f| s.is_face_of(f))
                 .cloned()
-                .collect::<Vec<_>>(),
-        )
+                .collect(),
+        }
     }
 
     /// The *link* of `s`: faces of facets containing `s` that are disjoint
     /// from `s`.
+    ///
+    /// Face tests, restriction, and absorption run on interned ids.
     pub fn link(&self, s: &Simplex<V>) -> Complex<V> {
-        let mut out = Complex::new();
-        for f in &self.facets {
-            if s.is_face_of(f) {
-                out.add_simplex(f.restrict(|v| !s.contains(v)));
+        let (pool, idc) = self.to_interned();
+        let ids: Option<Vec<u32>> = s.vertices().iter().map(|v| pool.id_of(v)).collect();
+        match ids {
+            // Some vertex of `s` is not in the complex: no facet
+            // contains `s`, so the link is void.
+            None => Complex::new(),
+            Some(ids) => {
+                let sid = IdSimplex::from_ids(ids);
+                Complex::from_interned(&pool, &idc.link(&sid))
             }
         }
-        out
     }
 
     /// The simplicial *join* `K * L`: simplexes are unions of a simplex of
     /// `K` and a simplex of `L`. Vertex sets must be disjoint.
     ///
+    /// The product runs on interned ids; with disjoint vertex sets the
+    /// product of two facet anti-chains is an anti-chain, so no
+    /// absorption scans are needed at all.
+    ///
     /// # Panics
     ///
     /// Panics if the two complexes share a vertex.
     pub fn join(&self, other: &Complex<V>) -> Complex<V> {
-        let mine = self.vertex_set();
         assert!(
-            other.vertex_set().is_disjoint(&mine),
+            other.vertex_set().is_disjoint(&self.vertex_set()),
             "join requires disjoint vertex sets"
         );
         if self.is_void() {
@@ -268,13 +310,10 @@ impl<V: Label> Complex<V> {
         if other.is_void() {
             return self.clone();
         }
-        let mut out = Complex::new();
-        for f in &self.facets {
-            for g in &other.facets {
-                out.add_simplex(f.union(g));
-            }
-        }
-        out
+        let mut pool = self.shared_pool(other);
+        let a = self.intern_into(&mut pool);
+        let b = other.intern_into(&mut pool);
+        Complex::from_interned(&pool, &a.join(&b))
     }
 
     /// Relabels every vertex through `f`. This is the image complex of the
@@ -304,12 +343,7 @@ impl<V: Label> Complex<V> {
                 *counts.entry(ridge).or_default() += 1;
             }
         }
-        Complex::from_facets(
-            counts
-                .into_iter()
-                .filter(|(_, c)| *c == 1)
-                .map(|(r, _)| r),
-        )
+        Complex::from_facets(counts.into_iter().filter(|(_, c)| *c == 1).map(|(r, _)| r))
     }
 
     /// Connected components of the underlying graph (0- and 1-simplexes).
@@ -464,7 +498,10 @@ mod tests {
     fn induced_subcomplex() {
         let c = Complex::simplex(s(&[0, 1, 2, 3]));
         let ind = c.induced(|v| *v != 3);
-        assert_eq!(ind.facets().cloned().collect::<Vec<_>>(), vec![s(&[0, 1, 2])]);
+        assert_eq!(
+            ind.facets().cloned().collect::<Vec<_>>(),
+            vec![s(&[0, 1, 2])]
+        );
     }
 
     #[test]

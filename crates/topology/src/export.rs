@@ -60,7 +60,11 @@ pub fn to_off<V: Label>(k: &Complex<V>) -> String {
     // golden-spiral sphere layout
     let phi = std::f64::consts::PI * (3.0 - 5f64.sqrt());
     for i in 0..n {
-        let y = if n == 1 { 0.0 } else { 1.0 - 2.0 * (i as f64) / ((n - 1) as f64) };
+        let y = if n == 1 {
+            0.0
+        } else {
+            1.0 - 2.0 * (i as f64) / ((n - 1) as f64)
+        };
         let r = (1.0 - y * y).max(0.0).sqrt();
         let theta = phi * i as f64;
         let _ = writeln!(

@@ -1,0 +1,1066 @@
+//! Vertex interning: dense `u32` ids for label-typed complexes.
+//!
+//! Protocol complexes label vertices with *full-information views* —
+//! recursive trees whose `Ord`/`Hash`/`Clone` walk the whole structure.
+//! Every facet-absorption scan, boundary-matrix lookup, and isomorphism
+//! probe on [`Complex`] therefore pays a deep traversal per comparison.
+//! This module introduces the interned core the rest of the workspace
+//! runs on:
+//!
+//! - [`VertexPool`] bijects labels ↔ dense `u32` ids (one hash per
+//!   vertex, ever);
+//! - [`IdSimplex`] stores a simplex of ids, with a 64-bit bitset fast
+//!   path when every id is `< 64` (subset, union, and intersection are
+//!   single word ops) and a sorted vector fallback otherwise;
+//! - [`IdComplex`] mirrors the facet-anti-chain representation of
+//!   [`Complex`] over ids, with the vertex set and dimension cached;
+//! - [`InternedBuilder`] accumulates facets given as raw label lists,
+//!   interning each label once at creation.
+//!
+//! # Canonical pools and enumeration order
+//!
+//! A pool is *canonical* for a complex when ids are assigned in
+//! ascending label order. Then `id` order equals label order, so the
+//! lexicographic order on [`IdSimplex`] (ascending id sequences) equals
+//! the lexicographic order on the label simplexes — facet and basis
+//! enumerations through the interned path are byte-identical to the
+//! label-typed ones. [`Complex::to_interned`] always builds a canonical
+//! pool. Non-canonical pools (e.g. an [`InternedBuilder`] interning
+//! views in discovery order) are still *bijective*, so converting back
+//! with [`Complex::from_interned`] re-sorts into exactly the complex the
+//! label-typed path would have produced.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::{Complex, Label, Simplex};
+
+/// A bijection between vertex labels and dense `u32` ids.
+///
+/// Ids are assigned in interning order, starting at `0`. Looking up an
+/// existing label costs one hash; resolving an id is an array index.
+#[derive(Clone)]
+pub struct VertexPool<V> {
+    labels: Vec<V>,
+    ids: HashMap<V, u32>,
+}
+
+impl<V: Label> VertexPool<V> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        VertexPool {
+            labels: Vec::new(),
+            ids: HashMap::new(),
+        }
+    }
+
+    /// A *canonical* pool for the given labels: ids are assigned in
+    /// ascending label order, so id order equals label order.
+    pub fn canonical(labels: impl IntoIterator<Item = V>) -> Self {
+        let sorted: BTreeSet<V> = labels.into_iter().collect();
+        let mut pool = VertexPool::new();
+        for v in sorted {
+            pool.intern(v);
+        }
+        pool
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Interns `v`, returning its id (existing id if already present).
+    pub fn intern(&mut self, v: V) -> u32 {
+        if let Some(&id) = self.ids.get(&v) {
+            return id;
+        }
+        let id = u32::try_from(self.labels.len()).expect("vertex pool overflow");
+        self.labels.push(v.clone());
+        self.ids.insert(v, id);
+        id
+    }
+
+    /// The id of `v`, if interned.
+    pub fn id_of(&self, v: &V) -> Option<u32> {
+        self.ids.get(v).copied()
+    }
+
+    /// The label of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never assigned by this pool.
+    pub fn label(&self, id: u32) -> &V {
+        &self.labels[id as usize]
+    }
+
+    /// All labels, indexed by id.
+    pub fn labels(&self) -> &[V] {
+        &self.labels
+    }
+
+    /// Interns every vertex of a label simplex.
+    pub fn intern_simplex(&mut self, s: &Simplex<V>) -> IdSimplex {
+        IdSimplex::from_ids(
+            s.vertices()
+                .iter()
+                .map(|v| self.intern(v.clone()))
+                .collect(),
+        )
+    }
+
+    /// Resolves an id simplex back to labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simplex mentions an id this pool never assigned.
+    pub fn resolve_simplex(&self, s: &IdSimplex) -> Simplex<V> {
+        Simplex::new(s.ids().map(|id| self.label(id).clone()).collect())
+    }
+
+    /// `true` iff ids were assigned in ascending label order, making id
+    /// order coincide with label order (see the module docs).
+    pub fn is_canonical(&self) -> bool {
+        self.labels.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+impl<V: Label> Default for VertexPool<V> {
+    fn default() -> Self {
+        VertexPool::new()
+    }
+}
+
+impl<V: Label> fmt::Debug for VertexPool<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VertexPool({} labels)", self.labels.len())
+    }
+}
+
+/// A simplex over dense vertex ids.
+///
+/// Canonical form: the [`IdSimplex::Bits`] variant is used whenever
+/// every id is `< 64` (bit `i` set ⟺ id `i` present); otherwise the
+/// ids are kept as a strictly increasing vector. All constructors and
+/// operations maintain this, so derived equality and hashing are sound.
+///
+/// The ordering is lexicographic on the ascending id sequence — the
+/// same order [`Simplex`] has on sorted label vectors — implemented for
+/// bitsets with a lowest-differing-bit trick rather than by iterating.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum IdSimplex {
+    /// Every id `< 64`: bit `i` set ⟺ vertex id `i` present.
+    Bits(u64),
+    /// Fallback: strictly increasing ids, at least one `≥ 64`.
+    Sorted(Vec<u32>),
+}
+
+impl IdSimplex {
+    /// The empty simplex (dimension `-1`).
+    pub fn empty() -> Self {
+        IdSimplex::Bits(0)
+    }
+
+    /// The 0-simplex `{id}`.
+    pub fn vertex(id: u32) -> Self {
+        if id < 64 {
+            IdSimplex::Bits(1u64 << id)
+        } else {
+            IdSimplex::Sorted(vec![id])
+        }
+    }
+
+    /// Builds a simplex from arbitrary ids (sorted and deduplicated).
+    pub fn from_ids(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        IdSimplex::from_sorted_ids(ids)
+    }
+
+    /// Builds a simplex from strictly increasing ids.
+    pub fn from_sorted_ids(ids: Vec<u32>) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids not strictly sorted"
+        );
+        match ids.last() {
+            None => IdSimplex::Bits(0),
+            Some(&max) if max < 64 => {
+                let mut mask = 0u64;
+                for &i in &ids {
+                    mask |= 1u64 << i;
+                }
+                IdSimplex::Bits(mask)
+            }
+            _ => IdSimplex::Sorted(ids),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            IdSimplex::Bits(m) => m.count_ones() as usize,
+            IdSimplex::Sorted(v) => v.len(),
+        }
+    }
+
+    /// `true` iff this is the empty simplex.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            IdSimplex::Bits(m) => *m == 0,
+            IdSimplex::Sorted(v) => v.is_empty(),
+        }
+    }
+
+    /// The dimension: `len() - 1`, so `-1` for the empty simplex.
+    pub fn dim(&self) -> i32 {
+        self.len() as i32 - 1
+    }
+
+    /// Iterator over the ids in ascending order.
+    pub fn ids(&self) -> IdIter<'_> {
+        match self {
+            IdSimplex::Bits(m) => IdIter::Bits(*m),
+            IdSimplex::Sorted(v) => IdIter::Sorted(v.iter()),
+        }
+    }
+
+    /// `true` iff `id` is a vertex of this simplex.
+    pub fn contains(&self, id: u32) -> bool {
+        match self {
+            IdSimplex::Bits(m) => id < 64 && m & (1u64 << id) != 0,
+            IdSimplex::Sorted(v) => v.binary_search(&id).is_ok(),
+        }
+    }
+
+    /// `true` iff `self` is a (not necessarily proper) face of `other`.
+    pub fn is_face_of(&self, other: &IdSimplex) -> bool {
+        match (self, other) {
+            (IdSimplex::Bits(a), IdSimplex::Bits(b)) => a & !b == 0,
+            (a, b) => {
+                if a.len() > b.len() {
+                    return false;
+                }
+                a.ids().all(|id| b.contains(id))
+            }
+        }
+    }
+
+    /// The simplex spanned by the union of the two id sets.
+    pub fn union(&self, other: &IdSimplex) -> IdSimplex {
+        match (self, other) {
+            (IdSimplex::Bits(a), IdSimplex::Bits(b)) => IdSimplex::Bits(a | b),
+            (a, b) => {
+                let mut ids: Vec<u32> = a.ids().collect();
+                ids.extend(b.ids());
+                IdSimplex::from_ids(ids)
+            }
+        }
+    }
+
+    /// The common face: intersection of the two id sets.
+    pub fn intersection(&self, other: &IdSimplex) -> IdSimplex {
+        match (self, other) {
+            (IdSimplex::Bits(a), IdSimplex::Bits(b)) => IdSimplex::Bits(a & b),
+            (a, b) => IdSimplex::from_sorted_ids(a.ids().filter(|&id| b.contains(id)).collect()),
+        }
+    }
+
+    /// The face obtained by removing `id` (no-op if absent).
+    pub fn without(&self, id: u32) -> IdSimplex {
+        match self {
+            IdSimplex::Bits(m) if id < 64 => IdSimplex::Bits(m & !(1u64 << id)),
+            IdSimplex::Bits(m) => IdSimplex::Bits(*m),
+            IdSimplex::Sorted(_) => {
+                IdSimplex::from_sorted_ids(self.ids().filter(|&i| i != id).collect())
+            }
+        }
+    }
+
+    /// The simplex extended by one more id.
+    pub fn with(&self, id: u32) -> IdSimplex {
+        match self {
+            IdSimplex::Bits(m) if id < 64 => IdSimplex::Bits(m | (1u64 << id)),
+            _ => {
+                let mut ids: Vec<u32> = self.ids().collect();
+                ids.push(id);
+                IdSimplex::from_ids(ids)
+            }
+        }
+    }
+
+    /// The face spanned by the ids satisfying `keep`.
+    pub fn restrict(&self, mut keep: impl FnMut(u32) -> bool) -> IdSimplex {
+        IdSimplex::from_sorted_ids(self.ids().filter(|&id| keep(id)).collect())
+    }
+
+    /// Iterator over the codimension-1 faces, in the order of the
+    /// dropped vertex (ascending), matching
+    /// [`Simplex::boundary_faces`].
+    pub fn boundary_faces(&self) -> impl Iterator<Item = IdSimplex> + '_ {
+        let ids: Vec<u32> = self.ids().collect();
+        (0..ids.len()).map(move |i| {
+            let mut rest = ids.clone();
+            rest.remove(i);
+            IdSimplex::from_sorted_ids(rest)
+        })
+    }
+
+    /// Iterator over *all* faces (every subset, including the empty
+    /// simplex and `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simplex has 64 or more vertices.
+    pub fn faces(&self) -> impl Iterator<Item = IdSimplex> + '_ {
+        let ids: Vec<u32> = self.ids().collect();
+        let k = ids.len();
+        assert!(k < 64, "face enumeration limited to < 64 vertexes");
+        (0..(1u64 << k)).map(move |mask| {
+            IdSimplex::from_sorted_ids(
+                ids.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &id)| id)
+                    .collect(),
+            )
+        })
+    }
+
+    /// The faces of dimension `d`, enumerated in lexicographic order.
+    pub fn faces_of_dim(&self, d: i32) -> Vec<IdSimplex> {
+        if d < -1 || d > self.dim() {
+            return Vec::new();
+        }
+        if d == -1 {
+            return vec![IdSimplex::empty()];
+        }
+        let ids: Vec<u32> = self.ids().collect();
+        let n = ids.len();
+        let k = (d + 1) as usize;
+        let mut out = Vec::new();
+        let mut idx: Vec<usize> = (0..k).collect();
+        loop {
+            out.push(IdSimplex::from_sorted_ids(
+                idx.iter().map(|&i| ids[i]).collect(),
+            ));
+            // next k-combination of 0..n
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if idx[i] != i + n - k {
+                    break;
+                }
+                if i == 0 {
+                    return out;
+                }
+            }
+            idx[i] += 1;
+            for j in i + 1..k {
+                idx[j] = idx[j - 1] + 1;
+            }
+        }
+    }
+}
+
+/// Lexicographic comparison of two id bitsets, viewed as ascending id
+/// sequences. `O(1)` via the lowest differing bit: the common low bits
+/// are a shared prefix; whichever side owns the lowest differing bit
+/// contributes the smaller next element — unless the other side has no
+/// further elements at all, in which case it is a proper prefix (and a
+/// prefix sorts first).
+fn cmp_bits(a: u64, b: u64) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
+    let diff = a ^ b;
+    let low = diff & diff.wrapping_neg();
+    let ge_mask = !(low - 1); // bits at the differing position and above
+    if a & low != 0 {
+        if b & ge_mask == 0 {
+            Ordering::Greater // b is a proper prefix of a
+        } else {
+            Ordering::Less
+        }
+    } else if a & ge_mask == 0 {
+        Ordering::Less // a is a proper prefix of b
+    } else {
+        Ordering::Greater
+    }
+}
+
+impl Ord for IdSimplex {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (IdSimplex::Bits(a), IdSimplex::Bits(b)) => cmp_bits(*a, *b),
+            (a, b) => a.ids().cmp(b.ids()),
+        }
+    }
+}
+
+impl PartialOrd for IdSimplex {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl FromIterator<u32> for IdSimplex {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        IdSimplex::from_ids(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for IdSimplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, id) in self.ids().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// Iterator over the ids of an [`IdSimplex`], ascending.
+#[derive(Clone, Debug)]
+pub enum IdIter<'a> {
+    /// Remaining bits of a bitset simplex.
+    Bits(u64),
+    /// Remaining ids of a sorted-vector simplex.
+    Sorted(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for IdIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            IdIter::Bits(m) => {
+                if *m == 0 {
+                    None
+                } else {
+                    let id = m.trailing_zeros();
+                    *m &= *m - 1;
+                    Some(id)
+                }
+            }
+            IdIter::Sorted(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            IdIter::Bits(m) => m.count_ones() as usize,
+            IdIter::Sorted(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for IdIter<'_> {}
+
+/// A simplicial complex over dense vertex ids: the facet anti-chain of
+/// [`Complex`], with the vertex set and dimension cached (both are
+/// monotone under facet insertion, so the caches never need rebuilding).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct IdComplex {
+    facets: BTreeSet<IdSimplex>,
+    vertices: BTreeSet<u32>,
+    dim: i32,
+}
+
+impl IdComplex {
+    /// The void complex.
+    pub fn new() -> Self {
+        IdComplex {
+            facets: BTreeSet::new(),
+            vertices: BTreeSet::new(),
+            dim: -1,
+        }
+    }
+
+    /// Builds a complex from generating simplexes (faces absorbed).
+    pub fn from_facets<I: IntoIterator<Item = IdSimplex>>(simplexes: I) -> Self {
+        let mut c = IdComplex::new();
+        for s in simplexes {
+            c.add_simplex(s);
+        }
+        c
+    }
+
+    /// Adds a simplex (and implicitly all its faces), maintaining the
+    /// facet anti-chain.
+    pub fn add_simplex(&mut self, s: IdSimplex) {
+        if s.is_empty() {
+            return;
+        }
+        if self.facets.iter().any(|f| s.is_face_of(f)) {
+            return;
+        }
+        self.facets.retain(|f| !f.is_face_of(&s));
+        self.note_caches(&s);
+        self.facets.insert(s);
+    }
+
+    /// Inserts a facet the caller guarantees is not comparable with any
+    /// stored facet (e.g. all facets share a dimension and are
+    /// distinct, or the insertion order is known to be an anti-chain).
+    /// Skips the absorption scans of [`IdComplex::add_simplex`].
+    pub fn insert_facet_unchecked(&mut self, s: IdSimplex) {
+        if s.is_empty() {
+            return;
+        }
+        self.note_caches(&s);
+        self.facets.insert(s);
+    }
+
+    fn note_caches(&mut self, s: &IdSimplex) {
+        self.vertices.extend(s.ids());
+        self.dim = self.dim.max(s.dim());
+    }
+
+    /// `true` iff the complex has no simplexes.
+    pub fn is_void(&self) -> bool {
+        self.facets.is_empty()
+    }
+
+    /// Dimension: the largest facet dimension, `-1` if void (cached).
+    pub fn dim(&self) -> i32 {
+        self.dim
+    }
+
+    /// `true` iff every facet has the same dimension.
+    pub fn is_pure(&self) -> bool {
+        self.facets.iter().all(|f| f.dim() == self.dim)
+    }
+
+    /// Number of facets.
+    pub fn facet_count(&self) -> usize {
+        self.facets.len()
+    }
+
+    /// Iterator over facets in lexicographic id order.
+    pub fn facets(&self) -> impl Iterator<Item = &IdSimplex> {
+        self.facets.iter()
+    }
+
+    /// `true` iff `s` is a simplex of the complex.
+    pub fn contains(&self, s: &IdSimplex) -> bool {
+        if s.is_empty() {
+            return !self.is_void();
+        }
+        self.facets.iter().any(|f| s.is_face_of(f))
+    }
+
+    /// The cached vertex set.
+    pub fn vertex_set(&self) -> &BTreeSet<u32> {
+        &self.vertices
+    }
+
+    /// Number of distinct vertices (cached).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// All simplexes of dimension `d`, deduplicated.
+    pub fn simplices_of_dim(&self, d: i32) -> BTreeSet<IdSimplex> {
+        let mut out = BTreeSet::new();
+        if d < 0 {
+            return out;
+        }
+        for f in &self.facets {
+            if f.dim() >= d {
+                out.extend(f.faces_of_dim(d));
+            }
+        }
+        out
+    }
+
+    /// All nonempty simplexes grouped by dimension (the closure of the
+    /// facet set); index `d` holds the `d`-simplexes in lexicographic
+    /// order.
+    pub fn all_simplices(&self) -> Vec<Vec<IdSimplex>> {
+        if self.dim < 0 {
+            return Vec::new();
+        }
+        let mut by_dim: Vec<BTreeSet<IdSimplex>> = vec![BTreeSet::new(); (self.dim + 1) as usize];
+        for f in &self.facets {
+            for face in f.faces() {
+                if !face.is_empty() {
+                    by_dim[face.dim() as usize].insert(face);
+                }
+            }
+        }
+        by_dim
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect()
+    }
+
+    /// The f-vector: `f[d]` = number of `d`-simplexes.
+    pub fn f_vector(&self) -> Vec<usize> {
+        self.all_simplices().iter().map(|v| v.len()).collect()
+    }
+
+    /// Euler characteristic `Σ (-1)^d f_d`.
+    pub fn euler_characteristic(&self) -> i64 {
+        self.f_vector()
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| if d % 2 == 0 { n as i64 } else { -(n as i64) })
+            .sum()
+    }
+
+    /// The `k`-skeleton.
+    pub fn skeleton(&self, k: i32) -> IdComplex {
+        if k < 0 {
+            return IdComplex::new();
+        }
+        let mut out = IdComplex::new();
+        for f in &self.facets {
+            if f.dim() <= k {
+                out.add_simplex(f.clone());
+            } else {
+                for face in f.faces_of_dim(k) {
+                    out.add_simplex(face);
+                }
+            }
+        }
+        out
+    }
+
+    /// Union of two complexes over the same pool.
+    pub fn union(&self, other: &IdComplex) -> IdComplex {
+        let mut out = self.clone();
+        for f in &other.facets {
+            out.add_simplex(f.clone());
+        }
+        out
+    }
+
+    /// Intersection of two complexes over the same pool.
+    pub fn intersection(&self, other: &IdComplex) -> IdComplex {
+        let mut out = IdComplex::new();
+        for f in &self.facets {
+            for g in &other.facets {
+                out.add_simplex(f.intersection(g));
+            }
+        }
+        out
+    }
+
+    /// The subcomplex induced by the ids satisfying `keep`.
+    pub fn induced(&self, mut keep: impl FnMut(u32) -> bool) -> IdComplex {
+        let mut out = IdComplex::new();
+        for f in &self.facets {
+            out.add_simplex(f.restrict(&mut keep));
+        }
+        out
+    }
+
+    /// The star of `s`: the closure of the facets containing `s`.
+    pub fn star(&self, s: &IdSimplex) -> IdComplex {
+        let mut out = IdComplex::new();
+        // A subset of an anti-chain is an anti-chain.
+        for f in self.facets.iter().filter(|f| s.is_face_of(f)) {
+            out.insert_facet_unchecked(f.clone());
+        }
+        out
+    }
+
+    /// The link of `s`: faces of facets containing `s`, disjoint from
+    /// `s`.
+    pub fn link(&self, s: &IdSimplex) -> IdComplex {
+        let mut out = IdComplex::new();
+        for f in &self.facets {
+            if s.is_face_of(f) {
+                out.add_simplex(f.restrict(|id| !s.contains(id)));
+            }
+        }
+        out
+    }
+
+    /// The simplicial join `K * L` over the same pool.
+    ///
+    /// With disjoint vertex sets, `f ∪ g ⊆ f' ∪ g'` forces `f ⊆ f'` and
+    /// `g ⊆ g'`, so the product of two facet anti-chains is an
+    /// anti-chain and absorption scans are skipped entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two complexes share a vertex id.
+    pub fn join(&self, other: &IdComplex) -> IdComplex {
+        assert!(
+            self.vertices.is_disjoint(&other.vertices),
+            "join requires disjoint vertex sets"
+        );
+        if self.is_void() {
+            return other.clone();
+        }
+        if other.is_void() {
+            return self.clone();
+        }
+        let mut out = IdComplex::new();
+        for f in &self.facets {
+            for g in &other.facets {
+                out.insert_facet_unchecked(f.union(g));
+            }
+        }
+        out
+    }
+
+    /// Connected components of the underlying graph, as vertex-id sets.
+    pub fn components(&self) -> Vec<BTreeSet<u32>> {
+        let verts: Vec<u32> = self.vertices.iter().copied().collect();
+        let index: HashMap<u32, usize> = verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut dsu: Vec<usize> = (0..verts.len()).collect();
+        fn find(dsu: &mut [usize], mut x: usize) -> usize {
+            while dsu[x] != x {
+                dsu[x] = dsu[dsu[x]];
+                x = dsu[x];
+            }
+            x
+        }
+        for f in &self.facets {
+            let mut ids = f.ids();
+            if let Some(first) = ids.next() {
+                for w in ids {
+                    let a = find(&mut dsu, index[&first]);
+                    let b = find(&mut dsu, index[&w]);
+                    dsu[a] = b;
+                }
+            }
+        }
+        let mut comps: std::collections::BTreeMap<usize, BTreeSet<u32>> = Default::default();
+        for (i, &v) in verts.iter().enumerate() {
+            let r = find(&mut dsu, i);
+            comps.entry(r).or_default().insert(v);
+        }
+        comps.into_values().collect()
+    }
+
+    /// `true` iff nonempty and graph-connected.
+    pub fn is_connected(&self) -> bool {
+        self.components().len() == 1
+    }
+}
+
+impl FromIterator<IdSimplex> for IdComplex {
+    fn from_iter<I: IntoIterator<Item = IdSimplex>>(iter: I) -> Self {
+        IdComplex::from_facets(iter)
+    }
+}
+
+impl fmt::Debug for IdComplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IdComplex{{dim={}, facets=[", self.dim)?;
+        for (i, s) in self.facets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s:?}")?;
+        }
+        write!(f, "]}}")
+    }
+}
+
+/// Accumulates a complex from facets given as raw label collections,
+/// interning each label the first time it appears. This is the hot-path
+/// entry point for protocol-complex construction: facet dedup and
+/// absorption run on ids (word ops) instead of deep label comparisons,
+/// and labels are never sorted — only their ids are.
+pub struct InternedBuilder<V> {
+    pool: VertexPool<V>,
+    complex: IdComplex,
+}
+
+impl<V: Label> InternedBuilder<V> {
+    /// An empty builder.
+    pub fn new() -> Self {
+        InternedBuilder {
+            pool: VertexPool::new(),
+            complex: IdComplex::new(),
+        }
+    }
+
+    /// The pool built so far.
+    pub fn pool(&self) -> &VertexPool<V> {
+        &self.pool
+    }
+
+    /// Mutable access to the pool (e.g. to pre-intern labels).
+    pub fn pool_mut(&mut self) -> &mut VertexPool<V> {
+        &mut self.pool
+    }
+
+    /// The id complex built so far.
+    pub fn complex(&self) -> &IdComplex {
+        &self.complex
+    }
+
+    /// Adds the facet spanned by `vertices` (duplicates merge), with
+    /// absorption against previously added facets.
+    pub fn add_facet_vertices(&mut self, vertices: impl IntoIterator<Item = V>) {
+        let ids: Vec<u32> = vertices.into_iter().map(|v| self.pool.intern(v)).collect();
+        self.complex.add_simplex(IdSimplex::from_ids(ids));
+    }
+
+    /// Adds a label simplex with absorption.
+    pub fn add_facet(&mut self, s: &Simplex<V>) {
+        let id_simplex = self.pool.intern_simplex(s);
+        self.complex.add_simplex(id_simplex);
+    }
+
+    /// Adds the facet spanned by `vertices` without absorption scans;
+    /// the caller guarantees the facets form an anti-chain (duplicates
+    /// are still merged by the underlying set).
+    pub fn add_facet_vertices_unchecked(&mut self, vertices: impl IntoIterator<Item = V>) {
+        let ids: Vec<u32> = vertices.into_iter().map(|v| self.pool.intern(v)).collect();
+        self.complex
+            .insert_facet_unchecked(IdSimplex::from_ids(ids));
+    }
+
+    /// Finishes, resolving back to a label-typed [`Complex`].
+    pub fn finish(self) -> Complex<V> {
+        Complex::from_interned(&self.pool, &self.complex)
+    }
+
+    /// Finishes, returning the raw interned parts.
+    pub fn into_parts(self) -> (VertexPool<V>, IdComplex) {
+        (self.pool, self.complex)
+    }
+}
+
+impl<V: Label> Default for InternedBuilder<V> {
+    fn default() -> Self {
+        InternedBuilder::new()
+    }
+}
+
+impl<V: Label> fmt::Debug for InternedBuilder<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "InternedBuilder({} labels, {} facets)",
+            self.pool.len(),
+            self.complex.facet_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> IdSimplex {
+        IdSimplex::from_ids(v.to_vec())
+    }
+
+    #[test]
+    fn pool_bijection() {
+        let mut pool = VertexPool::new();
+        let a = pool.intern("b");
+        let b = pool.intern("a");
+        assert_eq!(pool.intern("b"), a);
+        assert_eq!(pool.id_of(&"a"), Some(b));
+        assert_eq!(pool.label(a), &"b");
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_canonical());
+        let canon = VertexPool::canonical(["b", "a", "c"]);
+        assert!(canon.is_canonical());
+        assert_eq!(canon.labels(), &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn bits_variant_used_below_64() {
+        assert!(matches!(ids(&[0, 5, 63]), IdSimplex::Bits(_)));
+        assert!(matches!(ids(&[0, 64]), IdSimplex::Sorted(_)));
+        assert!(matches!(IdSimplex::vertex(64), IdSimplex::Sorted(_)));
+        // operations re-canonicalize
+        let big = ids(&[2, 70]);
+        assert!(matches!(big.without(70), IdSimplex::Bits(_)));
+        assert!(matches!(
+            big.intersection(&ids(&[2, 3])),
+            IdSimplex::Bits(_)
+        ));
+    }
+
+    #[test]
+    fn ordering_matches_sorted_vectors() {
+        // exhaustive check on small id sets, across both variants
+        let sets: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2],
+            vec![0, 1, 2],
+            vec![63],
+            vec![64],
+            vec![1, 64],
+            vec![1, 70],
+            vec![64, 65],
+        ];
+        for a in &sets {
+            for b in &sets {
+                let lex = a.cmp(b);
+                let interned = ids(a).cmp(&ids(b));
+                assert_eq!(interned, lex, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn face_relation_and_ops() {
+        let t = ids(&[1, 2, 3]);
+        assert!(ids(&[1, 3]).is_face_of(&t));
+        assert!(!ids(&[1, 4]).is_face_of(&t));
+        assert!(IdSimplex::empty().is_face_of(&t));
+        assert_eq!(t.union(&ids(&[2, 4])), ids(&[1, 2, 3, 4]));
+        assert_eq!(t.intersection(&ids(&[2, 3, 4])), ids(&[2, 3]));
+        assert_eq!(t.without(2), ids(&[1, 3]));
+        assert_eq!(t.with(0), ids(&[0, 1, 2, 3]));
+        assert_eq!(t.restrict(|i| i % 2 == 1), ids(&[1, 3]));
+        assert!(t.contains(2) && !t.contains(4));
+    }
+
+    #[test]
+    fn boundary_faces_match_label_simplex() {
+        let t = ids(&[1, 2, 3]);
+        let faces: Vec<_> = t.boundary_faces().collect();
+        assert_eq!(faces, vec![ids(&[2, 3]), ids(&[1, 3]), ids(&[1, 2])]);
+        assert_eq!(t.faces().count(), 8);
+        assert_eq!(t.faces_of_dim(1).len(), 3);
+        assert_eq!(t.faces_of_dim(-1), vec![IdSimplex::empty()]);
+    }
+
+    #[test]
+    fn large_id_ops() {
+        let s = ids(&[10, 64, 100]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(100));
+        assert!(ids(&[10, 100]).is_face_of(&s));
+        assert!(!ids(&[10, 101]).is_face_of(&s));
+        assert_eq!(s.union(&ids(&[5])), ids(&[5, 10, 64, 100]));
+        assert_eq!(s.ids().collect::<Vec<_>>(), vec![10, 64, 100]);
+    }
+
+    #[test]
+    fn id_complex_mirrors_label_complex() {
+        let mut c = IdComplex::new();
+        c.add_simplex(ids(&[1, 2]));
+        c.add_simplex(ids(&[1, 2, 3])); // absorbs
+        c.add_simplex(ids(&[2, 3])); // already a face
+        assert_eq!(c.facet_count(), 1);
+        assert_eq!(c.dim(), 2);
+        assert_eq!(c.vertex_count(), 3);
+        assert!(c.contains(&ids(&[1, 3])));
+        assert!(!c.contains(&ids(&[1, 4])));
+        assert_eq!(c.f_vector(), vec![3, 3, 1]);
+        assert_eq!(c.euler_characteristic(), 1);
+    }
+
+    #[test]
+    fn caches_survive_absorption() {
+        let mut c = IdComplex::new();
+        c.add_simplex(ids(&[0, 1]));
+        c.add_simplex(ids(&[2]));
+        assert_eq!(c.dim(), 1);
+        assert_eq!(c.vertex_count(), 3);
+        c.add_simplex(ids(&[0, 1, 2]));
+        assert_eq!(c.facet_count(), 1);
+        assert_eq!(c.dim(), 2);
+        assert_eq!(
+            c.vertex_set().iter().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn skeleton_union_intersection_join() {
+        let tetra = IdComplex::from_facets([ids(&[0, 1, 2, 3])]);
+        assert_eq!(tetra.skeleton(1).f_vector(), vec![4, 6]);
+        let a = IdComplex::from_facets([ids(&[0, 1, 2])]);
+        let b = IdComplex::from_facets([ids(&[1, 2, 3])]);
+        assert_eq!(a.union(&b).facet_count(), 2);
+        assert_eq!(
+            a.intersection(&b).facets().cloned().collect::<Vec<_>>(),
+            vec![ids(&[1, 2])]
+        );
+        let apex = IdComplex::from_facets([ids(&[9])]);
+        let circle = IdComplex::from_facets([ids(&[0, 1]), ids(&[1, 2]), ids(&[0, 2])]);
+        let cone = circle.join(&apex);
+        assert_eq!(cone.f_vector(), vec![4, 6, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn join_rejects_shared_ids() {
+        let a = IdComplex::from_facets([ids(&[0, 1])]);
+        let b = IdComplex::from_facets([ids(&[1, 2])]);
+        let _ = a.join(&b);
+    }
+
+    #[test]
+    fn star_link_components() {
+        let circle = IdComplex::from_facets([ids(&[0, 1]), ids(&[1, 2]), ids(&[0, 2])]);
+        assert_eq!(circle.star(&IdSimplex::vertex(0)).facet_count(), 2);
+        assert_eq!(
+            circle
+                .link(&IdSimplex::vertex(0))
+                .facets()
+                .cloned()
+                .collect::<Vec<_>>(),
+            vec![IdSimplex::vertex(1), IdSimplex::vertex(2)]
+        );
+        let mut c = circle.clone();
+        assert!(c.is_connected());
+        c.add_simplex(ids(&[7, 8]));
+        assert_eq!(c.components().len(), 2);
+    }
+
+    #[test]
+    fn builder_matches_from_facets() {
+        let mut b = InternedBuilder::new();
+        b.add_facet_vertices(["q", "p"]);
+        b.add_facet_vertices(["r", "q", "p"]); // absorbs
+        b.add_facet_vertices(["z", "z"]); // dedup within facet
+        let c = b.finish();
+        let expected = Complex::from_facets([
+            Simplex::from_iter(["p", "q"]),
+            Simplex::from_iter(["p", "q", "r"]),
+            Simplex::from_iter(["z"]),
+        ]);
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn interned_roundtrip_is_identity() {
+        let c = Complex::from_facets([
+            Simplex::from_iter([3u32, 1]),
+            Simplex::from_iter([5, 7, 9]),
+            Simplex::from_iter([2]),
+        ]);
+        let (pool, idc) = c.to_interned();
+        assert!(pool.is_canonical());
+        assert_eq!(idc.facet_count(), c.facet_count());
+        assert_eq!(idc.dim(), c.dim());
+        assert_eq!(idc.vertex_count(), c.vertex_count());
+        assert_eq!(Complex::from_interned(&pool, &idc), c);
+    }
+}

@@ -47,6 +47,9 @@ pub use simplex::Simplex;
 mod complex;
 pub use complex::Complex;
 
+pub mod intern;
+pub use intern::{IdComplex, IdSimplex, InternedBuilder, VertexPool};
+
 pub mod matrix;
 
 pub mod sparse;

@@ -4,8 +4,9 @@
 //! complexes and (unions of) pseudospheres; the cross-validation
 //! experiments check those isomorphisms explicitly with the machinery here.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use crate::intern::{IdComplex, IdSimplex, VertexPool};
 use crate::{Complex, Label, Simplex};
 
 /// A vertex map between complexes, checked for simpliciality.
@@ -19,7 +20,9 @@ pub struct SimplicialMap<V, W> {
 
 impl<V: Label, W: Label> std::fmt::Debug for SimplicialMap<V, W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimplicialMap").field("map", &self.map).finish()
+        f.debug_struct("SimplicialMap")
+            .field("map", &self.map)
+            .finish()
     }
 }
 
@@ -34,7 +37,12 @@ impl<V: Label, W: Label> SimplicialMap<V, W> {
     /// Builds the map `v ↦ f(v)` over the vertices of `k`.
     pub fn from_fn<F: FnMut(&V) -> W>(k: &Complex<V>, mut f: F) -> Self {
         SimplicialMap {
-            map: k.vertex_set().into_iter().map(|v| (f(&v), v)).map(|(w, v)| (v, w)).collect(),
+            map: k
+                .vertex_set()
+                .into_iter()
+                .map(|v| (f(&v), v))
+                .map(|(w, v)| (v, w))
+                .collect(),
         }
     }
 
@@ -109,37 +117,164 @@ impl<V: Label, W: Label> SimplicialMap<V, W> {
     }
 }
 
-/// Vertex invariant used to prune the isomorphism search: the sorted
+/// Per-vertex invariant used to prune the isomorphism search: the sorted
 /// multiset of facet dimensions the vertex belongs to, plus its degree in
 /// the 1-skeleton.
-fn signature<V: Label>(k: &Complex<V>) -> BTreeMap<V, (Vec<i32>, usize)> {
-    let mut sig: BTreeMap<V, (Vec<i32>, usize)> = k
-        .vertex_set()
-        .into_iter()
-        .map(|v| (v, (Vec::new(), 0usize)))
-        .collect();
-    for f in k.facets() {
-        for v in f.vertices() {
-            sig.get_mut(v).unwrap().0.push(f.dim());
+type Sig = (Vec<i32>, usize);
+
+/// Signatures of an interned complex, indexed by vertex id.
+fn id_signature(c: &IdComplex, n: usize) -> Vec<Sig> {
+    let mut sig: Vec<Sig> = vec![(Vec::new(), 0usize); n];
+    for f in c.facets() {
+        for id in f.ids() {
+            sig[id as usize].0.push(f.dim());
         }
     }
-    for e in k.simplices_of_dim(1) {
-        for v in e.vertices() {
-            sig.get_mut(v).unwrap().1 += 1;
+    for e in c.simplices_of_dim(1) {
+        for id in e.ids() {
+            sig[id as usize].1 += 1;
         }
     }
-    for (_, (dims, _)) in sig.iter_mut() {
-        dims.sort_unstable();
+    for s in &mut sig {
+        s.0.sort_unstable();
     }
     sig
+}
+
+/// Dense `n × n` adjacency matrix of the 1-skeleton of an interned
+/// complex.
+fn id_adjacency(c: &IdComplex, n: usize) -> Vec<bool> {
+    let mut adj = vec![false; n * n];
+    for f in c.facets() {
+        let ids: Vec<u32> = f.ids().collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                adj[a as usize * n + b as usize] = true;
+                adj[b as usize * n + a as usize] = true;
+            }
+        }
+    }
+    adj
+}
+
+/// `true` iff the (complete) id bijection `assigned` maps the facet set
+/// of `ik` exactly onto the facet set of `il`.
+fn id_facets_correspond(ik: &IdComplex, il: &IdComplex, assigned: &[Option<u32>]) -> bool {
+    let image: BTreeSet<IdSimplex> = ik
+        .facets()
+        .map(|f| IdSimplex::from_ids(f.ids().map(|v| assigned[v as usize].unwrap()).collect()))
+        .collect();
+    let target: BTreeSet<IdSimplex> = il.facets().cloned().collect();
+    image == target
+}
+
+/// Shared state of the backtracking searches, all over dense ids:
+/// `assigned[v]` is the image of k-id `v` (if any), `used[w]` marks
+/// taken l-ids. No allocation happens per branch.
+struct IsoSearch<'a> {
+    n: usize,
+    korder: &'a [u32],
+    sig_k: &'a [Sig],
+    sig_l: &'a [Sig],
+    adj_k: &'a [bool],
+    adj_l: &'a [bool],
+}
+
+impl IsoSearch<'_> {
+    /// Edge-compatibility-pruned search for a vertex bijection.
+    fn backtrack(&self, i: usize, assigned: &mut [Option<u32>], used: &mut [bool]) -> bool {
+        if i == self.korder.len() {
+            return true;
+        }
+        let v = self.korder[i] as usize;
+        for w in 0..self.n {
+            if used[w] || self.sig_k[v] != self.sig_l[w] {
+                continue;
+            }
+            // incremental edge compatibility with already-assigned vertices
+            let compatible = self.korder[..i].iter().all(|&v2| {
+                let w2 = assigned[v2 as usize].unwrap() as usize;
+                self.adj_k[v * self.n + v2 as usize] == self.adj_l[w * self.n + w2]
+            });
+            if !compatible {
+                continue;
+            }
+            assigned[v] = Some(w as u32);
+            used[w] = true;
+            if self.backtrack(i + 1, assigned, used) {
+                return true;
+            }
+            assigned[v] = None;
+            used[w] = false;
+        }
+        false
+    }
+
+    /// Exhaustive search with partial facet checks: every facet whose
+    /// vertices are all assigned must map into `il`, and the complete
+    /// bijection must put the facet sets in exact correspondence.
+    fn exhaustive(
+        &self,
+        i: usize,
+        ik: &IdComplex,
+        il: &IdComplex,
+        assigned: &mut [Option<u32>],
+        used: &mut [bool],
+    ) -> bool {
+        if i == self.korder.len() {
+            return id_facets_correspond(ik, il, assigned);
+        }
+        let v = self.korder[i] as usize;
+        for w in 0..self.n {
+            if used[w] || self.sig_k[v] != self.sig_l[w] {
+                continue;
+            }
+            assigned[v] = Some(w as u32);
+            used[w] = true;
+            // partial facet check: any fully-assigned facet must map into l
+            let ok = ik.facets().all(|f| {
+                match f
+                    .ids()
+                    .map(|x| assigned[x as usize])
+                    .collect::<Option<Vec<u32>>>()
+                {
+                    Some(img) => il.contains(&IdSimplex::from_ids(img)),
+                    None => true,
+                }
+            });
+            if ok && self.exhaustive(i + 1, ik, il, assigned, used) {
+                return true;
+            }
+            assigned[v] = None;
+            used[w] = false;
+        }
+        false
+    }
+}
+
+/// Resolves a complete id bijection back to a label-typed map.
+fn resolve_map<V: Label, W: Label>(
+    pk: &VertexPool<V>,
+    pl: &VertexPool<W>,
+    assigned: &[Option<u32>],
+) -> SimplicialMap<V, W> {
+    SimplicialMap::new(
+        assigned
+            .iter()
+            .enumerate()
+            .map(|(v, w)| (pk.label(v as u32).clone(), pl.label(w.unwrap()).clone())),
+    )
 }
 
 /// Searches for a simplicial isomorphism between two complexes.
 ///
 /// Backtracking over vertex bijections, pruned by vertex signatures and
-/// incremental edge-compatibility. Exponential in the worst case but fast
-/// for the protocol complexes of this crate. Returns a witness map when
-/// the complexes are isomorphic.
+/// incremental edge-compatibility. The search runs entirely on interned
+/// ids — dense signature/adjacency arrays, no per-branch allocation or
+/// label comparisons — and resolves the witness back to labels at the
+/// end. Exponential in the worst case but fast for the protocol
+/// complexes of this crate. Returns a witness map when the complexes are
+/// isomorphic.
 pub fn find_isomorphism<V: Label, W: Label>(
     k: &Complex<V>,
     l: &Complex<W>,
@@ -153,158 +288,56 @@ pub fn find_isomorphism<V: Label, W: Label>(
     if k.is_void() {
         return Some(SimplicialMap::new(Vec::<(V, W)>::new()));
     }
-    let sig_k = signature(k);
-    let sig_l = signature(l);
-    let kverts: Vec<V> = {
-        // order by rarity of signature for early pruning
-        let mut vs: Vec<V> = k.vertex_set().into_iter().collect();
-        let mut freq: BTreeMap<&(Vec<i32>, usize), usize> = BTreeMap::new();
-        for v in &vs {
-            *freq.entry(&sig_k[v]).or_default() += 1;
-        }
-        vs.sort_by_key(|v| freq[&sig_k[v]]);
-        vs
-    };
-    let lverts: Vec<W> = l.vertex_set().into_iter().collect();
+    let (pk, ik) = k.to_interned();
+    let (pl, il) = l.to_interned();
+    let n = pk.len();
+    let sig_k = id_signature(&ik, n);
+    let sig_l = id_signature(&il, n);
+    let adj_k = id_adjacency(&ik, n);
+    let adj_l = id_adjacency(&il, n);
 
-    // adjacency for incremental checks
-    let k_edges: BTreeSet<(V, V)> = k
-        .simplices_of_dim(1)
-        .into_iter()
-        .map(|e| (e.vertices()[0].clone(), e.vertices()[1].clone()))
-        .collect();
-    let l_edges: BTreeSet<(W, W)> = l
-        .simplices_of_dim(1)
-        .into_iter()
-        .map(|e| (e.vertices()[0].clone(), e.vertices()[1].clone()))
-        .collect();
-    let k_adj = |a: &V, b: &V| {
-        let (x, y) = if a < b { (a, b) } else { (b, a) };
-        k_edges.contains(&(x.clone(), y.clone()))
-    };
-    let l_adj = |a: &W, b: &W| {
-        let (x, y) = if a < b { (a, b) } else { (b, a) };
-        l_edges.contains(&(x.clone(), y.clone()))
+    // order by rarity of signature for early pruning (stable, so ties
+    // keep ascending id = label order)
+    let korder: Vec<u32> = {
+        let mut freq: HashMap<&Sig, usize> = HashMap::new();
+        for s in &sig_k {
+            *freq.entry(s).or_default() += 1;
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&v| freq[&sig_k[v as usize]]);
+        order
     };
 
-    #[allow(clippy::too_many_arguments)]
-    fn backtrack<V: Label, W: Label>(
-        i: usize,
-        kverts: &[V],
-        lverts: &[W],
-        sig_k: &BTreeMap<V, (Vec<i32>, usize)>,
-        sig_l: &BTreeMap<W, (Vec<i32>, usize)>,
-        assigned: &mut BTreeMap<V, W>,
-        used: &mut BTreeSet<W>,
-        k_adj: &dyn Fn(&V, &V) -> bool,
-        l_adj: &dyn Fn(&W, &W) -> bool,
-    ) -> bool {
-        if i == kverts.len() {
-            return true;
-        }
-        let v = &kverts[i];
-        for w in lverts {
-            if used.contains(w) || sig_k[v] != sig_l[w] {
-                continue;
-            }
-            // incremental edge compatibility with already-assigned vertices
-            let compatible = assigned
-                .iter()
-                .all(|(v2, w2)| k_adj(v, v2) == l_adj(w, w2));
-            if !compatible {
-                continue;
-            }
-            assigned.insert(v.clone(), w.clone());
-            used.insert(w.clone());
-            if backtrack(i + 1, kverts, lverts, sig_k, sig_l, assigned, used, k_adj, l_adj) {
-                return true;
-            }
-            assigned.remove(v);
-            used.remove(w);
-        }
-        false
-    }
+    let search = IsoSearch {
+        n,
+        korder: &korder,
+        sig_k: &sig_k,
+        sig_l: &sig_l,
+        adj_k: &adj_k,
+        adj_l: &adj_l,
+    };
 
-    let mut assigned = BTreeMap::new();
-    let mut used = BTreeSet::new();
+    let mut assigned: Vec<Option<u32>> = vec![None; n];
+    let mut used = vec![false; n];
     // The edge-compatible bijection found by backtracking is a candidate;
     // verify full facet correspondence (needed for dim > 1 complexes).
-    if !backtrack(
-        0, &kverts, &lverts, &sig_k, &sig_l, &mut assigned, &mut used, &k_adj, &l_adj,
-    ) {
+    if !search.backtrack(0, &mut assigned, &mut used) {
         return None;
     }
-    let m = SimplicialMap::new(assigned.clone());
-    if m.is_isomorphism(k, l) {
-        return Some(m);
+    if id_facets_correspond(&ik, &il, &assigned) {
+        return Some(resolve_map(&pk, &pl, &assigned));
     }
     // Rare: edge-compatible but not facet-compatible. Fall back to a full
-    // search over facet-checked assignments.
-    find_isomorphism_exhaustive(k, l, &sig_k, &sig_l)
-}
-
-fn find_isomorphism_exhaustive<V: Label, W: Label>(
-    k: &Complex<V>,
-    l: &Complex<W>,
-    sig_k: &BTreeMap<V, (Vec<i32>, usize)>,
-    sig_l: &BTreeMap<W, (Vec<i32>, usize)>,
-) -> Option<SimplicialMap<V, W>> {
-    let kverts: Vec<V> = k.vertex_set().into_iter().collect();
-    let lverts: Vec<W> = l.vertex_set().into_iter().collect();
-    let kfacets: Vec<&Simplex<V>> = k.facets().collect();
-
-    #[allow(clippy::too_many_arguments)]
-    fn rec<V: Label, W: Label>(
-        i: usize,
-        kverts: &[V],
-        lverts: &[W],
-        sig_k: &BTreeMap<V, (Vec<i32>, usize)>,
-        sig_l: &BTreeMap<W, (Vec<i32>, usize)>,
-        kfacets: &[&Simplex<V>],
-        l: &Complex<W>,
-        assigned: &mut BTreeMap<V, W>,
-        used: &mut BTreeSet<W>,
-    ) -> bool {
-        if i == kverts.len() {
-            let m = SimplicialMap::new(assigned.clone());
-            return m.is_isomorphism(
-                &Complex::from_facets(kfacets.iter().map(|f| (*f).clone())),
-                l,
-            );
-        }
-        let v = &kverts[i];
-        for w in lverts {
-            if used.contains(w) || sig_k[v] != sig_l[w] {
-                continue;
-            }
-            assigned.insert(v.clone(), w.clone());
-            used.insert(w.clone());
-            // partial facet check: any fully-assigned facet must map into l
-            let ok = kfacets.iter().all(|f| {
-                if f.vertices().iter().all(|x| assigned.contains_key(x)) {
-                    let img = Simplex::new(
-                        f.vertices().iter().map(|x| assigned[x].clone()).collect(),
-                    );
-                    l.contains(&img)
-                } else {
-                    true
-                }
-            });
-            if ok && rec(i + 1, kverts, lverts, sig_k, sig_l, kfacets, l, assigned, used) {
-                return true;
-            }
-            assigned.remove(v);
-            used.remove(w);
-        }
-        false
-    }
-
-    let mut assigned = BTreeMap::new();
-    let mut used = BTreeSet::new();
-    if rec(
-        0, &kverts, &lverts, sig_k, sig_l, &kfacets, l, &mut assigned, &mut used,
-    ) {
-        Some(SimplicialMap::new(assigned))
+    // search over facet-checked assignments, in plain id order.
+    let lex_order: Vec<u32> = (0..n as u32).collect();
+    let search = IsoSearch {
+        korder: &lex_order,
+        ..search
+    };
+    let mut assigned: Vec<Option<u32>> = vec![None; n];
+    let mut used = vec![false; n];
+    if search.exhaustive(0, &ik, &il, &mut assigned, &mut used) {
+        Some(resolve_map(&pk, &pl, &assigned))
     } else {
         None
     }
@@ -393,7 +426,10 @@ mod tests {
 
     #[test]
     fn void_complexes_isomorphic() {
-        assert!(are_isomorphic(&Complex::<u32>::new(), &Complex::<u8>::new()));
+        assert!(are_isomorphic(
+            &Complex::<u32>::new(),
+            &Complex::<u8>::new()
+        ));
     }
 
     #[test]

@@ -76,7 +76,8 @@ impl BitMatrix {
             return;
         }
         for i in 0..self.words_per_row {
-            self.data.swap(a * self.words_per_row + i, b * self.words_per_row + i);
+            self.data
+                .swap(a * self.words_per_row + i, b * self.words_per_row + i);
         }
     }
 
@@ -154,7 +155,11 @@ impl SmithForm {
     /// The invariant factors strictly greater than 1 (torsion coefficients
     /// when this is a boundary matrix).
     pub fn torsion(&self) -> Vec<i128> {
-        self.invariant_factors.iter().copied().filter(|&d| d > 1).collect()
+        self.invariant_factors
+            .iter()
+            .copied()
+            .filter(|&d| d > 1)
+            .collect()
     }
 }
 
@@ -325,7 +330,10 @@ impl IntMatrix {
                 t += 1;
             }
         }
-        let mut factors: Vec<i128> = (0..bound).map(|i| m.get(i, i).abs()).filter(|&d| d != 0).collect();
+        let mut factors: Vec<i128> = (0..bound)
+            .map(|i| m.get(i, i).abs())
+            .filter(|&d| d != 0)
+            .collect();
         factors.sort_unstable();
         SmithForm {
             invariant_factors: factors,

@@ -43,11 +43,7 @@ pub fn find_shelling<V: Label>(k: &Complex<V>) -> Option<Vec<Simplex<V>>> {
     }
 }
 
-fn backtrack<V: Label>(
-    facets: &[Simplex<V>],
-    order: &mut Vec<usize>,
-    used: &mut [bool],
-) -> bool {
+fn backtrack<V: Label>(facets: &[Simplex<V>], order: &mut Vec<usize>, used: &mut [bool]) -> bool {
     if order.len() == facets.len() {
         return true;
     }

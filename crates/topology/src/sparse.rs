@@ -175,7 +175,9 @@ mod tests {
         // deterministic LCG-driven sparse matrices
         let mut state = 0x1234_5678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for trial in 0..30 {

@@ -113,10 +113,7 @@ pub fn to_svg<V: Label>(k: &Complex<V>, title: &str, opts: &SvgOptions) -> Strin
     let scale_y = (opts.size - 2.0 * pad) / (max_y - min_y).max(1e-6);
     let scale = scale_x.min(scale_y);
     let px = |p: (f64, f64)| -> (f64, f64) {
-        (
-            pad + (p.0 - min_x) * scale,
-            pad + (p.1 - min_y) * scale,
-        )
+        (pad + (p.0 - min_x) * scale, pad + (p.1 - min_y) * scale)
     };
 
     let mut out = String::new();
@@ -126,10 +123,7 @@ pub fn to_svg<V: Label>(k: &Complex<V>, title: &str, opts: &SvgOptions) -> Strin
         opts.size
     );
     let _ = writeln!(out, "  <title>{title}</title>");
-    let _ = writeln!(
-        out,
-        r#"  <rect width="100%" height="100%" fill="white"/>"#
-    );
+    let _ = writeln!(out, r#"  <rect width="100%" height="100%" fill="white"/>"#);
     for t in &triangles {
         let (a, b, c) = (px(pos[t[0]]), px(pos[t[1]]), px(pos[t[2]]));
         let _ = writeln!(
@@ -168,7 +162,9 @@ pub fn to_svg<V: Label>(k: &Complex<V>, title: &str, opts: &SvgOptions) -> Strin
 }
 
 fn svg_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -6,23 +6,29 @@
 //! cargo run --release --example consensus_impossibility
 //! ```
 
-use pseudosphere::agreement::{async_solvable, async_task_complex, allowed_values, KSetAgreement};
+use pseudosphere::agreement::{allowed_values, async_solvable, async_task_complex, KSetAgreement};
 use pseudosphere::topology::ConnectivityAnalyzer;
 
 fn main() {
     println!("Corollary 13: no asynchronous f-resilient k-set agreement for k ≤ f");
     println!("(exhaustive decision-map search over A^r, 3 processes)\n");
-    println!("{:>3} {:>3} {:>3} {:>9} {:>8} {:>10}", "k", "f", "r", "vertices", "facets", "solvable?");
+    println!(
+        "{:>3} {:>3} {:>3} {:>9} {:>8} {:>10}",
+        "k", "f", "r", "vertices", "facets", "solvable?"
+    );
 
     // (k, f, rounds): r = 2 only for f = 1, where A² stays small —
     // with f = 2 the heard-set families explode combinatorially.
-    let sweep: [(usize, usize, usize); 5] =
-        [(1, 1, 2), (1, 2, 1), (2, 2, 1), (2, 1, 1), (3, 2, 1)];
+    let sweep: [(usize, usize, usize); 5] = [(1, 1, 2), (1, 2, 1), (2, 2, 1), (2, 1, 1), (3, 2, 1)];
     for (k, f, max_r) in sweep {
         for r in 1..=max_r {
             let res = async_solvable(k, f, 3, r);
             let verdict = if res.solvable { "YES" } else { "no (proof)" };
-            let marker = if k <= f { "k ≤ f ⇒ expect no" } else { "k > f ⇒ expect yes" };
+            let marker = if k <= f {
+                "k ≤ f ⇒ expect no"
+            } else {
+                "k > f ⇒ expect yes"
+            };
             println!(
                 "{k:>3} {f:>3} {r:>3} {:>9} {:>8} {verdict:>10}   {marker}",
                 res.vertices, res.facets

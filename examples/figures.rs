@@ -35,11 +35,21 @@ fn main() {
     // ── Figure 1: the three-process binary pseudosphere (an S²) ──
     let binary: BTreeSet<u8> = [0, 1].into_iter().collect();
     let fig1 = Pseudosphere::uniform(process_simplex(3), binary.clone()).realize();
-    emit(dir, "figure1", "Figure 1: ψ(S²; {0,1}) — octahedron ≃ S²", &fig1);
+    emit(
+        dir,
+        "figure1",
+        "Figure 1: ψ(S²; {0,1}) — octahedron ≃ S²",
+        &fig1,
+    );
 
     // ── Figure 2: ψ(S¹;{0,1}) and ψ(S¹;{0,1,2}) ──
     let fig2a = Pseudosphere::uniform(process_simplex(2), binary).realize();
-    emit(dir, "figure2a", "Figure 2a: ψ(S¹; {0,1}) — a 4-cycle ≃ S¹", &fig2a);
+    emit(
+        dir,
+        "figure2a",
+        "Figure 2a: ψ(S¹; {0,1}) — a 4-cycle ≃ S¹",
+        &fig2a,
+    );
     let ternary: BTreeSet<u8> = [0, 1, 2].into_iter().collect();
     let fig2b = Pseudosphere::uniform(process_simplex(2), ternary).realize();
     emit(

@@ -76,12 +76,22 @@ fn main() {
 
     // E8: async impossibility sweep
     let _ = writeln!(r, "\nE8 Corollary 13 (async, 3 processes):");
-    for (k, f, rounds) in [(1usize, 1usize, 1usize), (1, 1, 2), (1, 2, 1), (2, 2, 1), (2, 1, 1)] {
+    for (k, f, rounds) in [
+        (1usize, 1usize, 1usize),
+        (1, 1, 2),
+        (1, 2, 1),
+        (2, 2, 1),
+        (2, 1, 1),
+    ] {
         let res = async_solvable(k, f, 3, rounds);
         let _ = writeln!(
             r,
             "  k={k} f={f} r={rounds}: {} ({} vertices, {} facets)",
-            if res.solvable { "map exists" } else { "no map (proof)" },
+            if res.solvable {
+                "map exists"
+            } else {
+                "no map (proof)"
+            },
             res.vertices,
             res.facets
         );
@@ -101,7 +111,11 @@ fn main() {
         let mut row = format!("  n+1={n} f={f} k={k}:");
         for rounds in 0..=(f / k + 1) {
             let res = sync_solvable(k, f, n, f.min(k.max(1)), rounds);
-            let _ = write!(row, " r{rounds}={}", if res.solvable { "YES" } else { "no" });
+            let _ = write!(
+                row,
+                " r{rounds}={}",
+                if res.solvable { "YES" } else { "no" }
+            );
         }
         let bound = SyncModel::theorem18_round_bound(n - 1, f, k);
         let _ = writeln!(r, "{row}   (Theorem 18 bound = {bound})");
@@ -144,9 +158,21 @@ fn main() {
         r,
         "\nApproximate agreement (async, f=1, values 0..=2, 1 round):\n  \
          range 0 (consensus): {}; range 1: {}; range 2: {}",
-        if exact.solvable { "solvable" } else { "impossible" },
-        if mid.solvable { "solvable" } else { "impossible" },
-        if coarse.solvable { "solvable" } else { "impossible" },
+        if exact.solvable {
+            "solvable"
+        } else {
+            "impossible"
+        },
+        if mid.solvable {
+            "solvable"
+        } else {
+            "impossible"
+        },
+        if coarse.solvable {
+            "solvable"
+        } else {
+            "impossible"
+        },
     );
 
     // IIS baseline

@@ -34,7 +34,11 @@ fn main() {
                     outcome.decision_time,
                     outcome.failure_free_time,
                     ratio,
-                    if outcome.respects_bound() { "yes" } else { "NO" },
+                    if outcome.respects_bound() {
+                        "yes"
+                    } else {
+                        "NO"
+                    },
                 );
             }
         }

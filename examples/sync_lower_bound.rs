@@ -47,7 +47,11 @@ fn main() {
             };
             println!(
                 "{n_plus_1:>4} {f:>3} {k:>3} {r:>3} {bound:>6} {:>12} {fs:>18}",
-                if solver.solvable { "map exists" } else { "no map" },
+                if solver.solvable {
+                    "map exists"
+                } else {
+                    "no map"
+                },
             );
         }
         println!();

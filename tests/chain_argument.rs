@@ -54,17 +54,9 @@ fn chain_from_all_zero_to_all_one() {
     // the endpoints force decisions 0 and 1 respectively (validity),
     // and along the chain some process always keeps its view — the
     // classical contradiction. Check validity forces the endpoints:
-    let zero_vals: BTreeSet<u64> = zero
-        .vertices()
-        .iter()
-        .flat_map(allowed_values)
-        .collect();
+    let zero_vals: BTreeSet<u64> = zero.vertices().iter().flat_map(allowed_values).collect();
     assert_eq!(zero_vals, [0u64].into_iter().collect());
-    let one_vals: BTreeSet<u64> = one
-        .vertices()
-        .iter()
-        .flat_map(allowed_values)
-        .collect();
+    let one_vals: BTreeSet<u64> = one.vertices().iter().flat_map(allowed_values).collect();
     assert_eq!(one_vals, [1u64].into_iter().collect());
 }
 

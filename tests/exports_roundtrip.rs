@@ -68,7 +68,10 @@ fn all_one_round_model_complexes_roundtrip() {
 #[test]
 fn two_round_async_roundtrips() {
     let input = input_simplex(&[0u8, 1]);
-    roundtrip(&AsyncModel::new(2, 1).protocol_complex(&input, 2), "async-r2");
+    roundtrip(
+        &AsyncModel::new(2, 1).protocol_complex(&input, 2),
+        "async-r2",
+    );
 }
 
 #[test]

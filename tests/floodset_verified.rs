@@ -7,7 +7,9 @@
 
 use std::collections::BTreeSet;
 
-use pseudosphere::agreement::{allowed_values, sync_task_complex, DecisionMapSolver, KSetAgreement};
+use pseudosphere::agreement::{
+    allowed_values, sync_task_complex, DecisionMapSolver, KSetAgreement,
+};
 use pseudosphere::models::View;
 use pseudosphere::topology::Complex;
 
@@ -61,7 +63,12 @@ fn floodset_fails_one_round_short() {
     let task = KSetAgreement::canonical(1);
     let complex = sync_task_complex(&task, 3, 1, 1, 1); // r = 1 < 2
     let map = floodset_map(&complex);
-    assert!(!DecisionMapSolver::verify(&complex, &map, allowed_values, 1));
+    assert!(!DecisionMapSolver::verify(
+        &complex,
+        &map,
+        allowed_values,
+        1
+    ));
 }
 
 #[test]

@@ -19,13 +19,7 @@ fn arb_complex(max_vert: u32, max_facets: usize) -> impl Strategy<Value = Comple
         prop::collection::btree_set(0..max_vert, 1..=4usize),
         1..=max_facets,
     )
-    .prop_map(|facets| {
-        Complex::from_facets(
-            facets
-                .into_iter()
-                .map(Simplex::from_iter),
-        )
-    })
+    .prop_map(|facets| Complex::from_facets(facets.into_iter().map(Simplex::from_iter)))
 }
 
 /// A random family assignment over `n` processes with values `0..3`.

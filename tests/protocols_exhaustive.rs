@@ -93,9 +93,7 @@ fn early_beats_plain_floodset_in_failure_light_runs() {
     let mut total = 0usize;
     for_each_sync_execution(&proto, &inputs, 2, 2, 4, &mut |t| {
         total += 1;
-        if !t.decisions().is_empty()
-            && t.decisions().values().all(|(r, _)| *r < 3)
-        {
+        if !t.decisions().is_empty() && t.decisions().values().all(|(r, _)| *r < 3) {
             early_count += 1;
         }
     });

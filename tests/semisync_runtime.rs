@@ -102,11 +102,9 @@ fn executor_views_land_in_view_box() {
     let all: Vec<ProcessId> = (0..3u32).map(ProcessId).collect();
 
     for crasher in &all {
-        let survivors: Vec<ProcessId> =
-            all.iter().copied().filter(|q| q != crasher).collect();
+        let survivors: Vec<ProcessId> = all.iter().copied().filter(|q| q != crasher).collect();
         for fail_step in 1..=params.microrounds() {
-            let pattern: FailurePattern =
-                [(*crasher, fail_step as u32)].into_iter().collect();
+            let pattern: FailurePattern = [(*crasher, fail_step as u32)].into_iter().collect();
             let participants: BTreeSet<ProcessId> = all.iter().copied().collect();
             let the_box = model.view_box(&participants, &pattern);
 
@@ -194,7 +192,10 @@ fn facets_match_lemma19_pseudosphere() {
             .collect();
         facets.insert(facet);
     }
-    let ps = model.member_pseudosphere(&input_simplex(&[0u8, 1, 2]),
-        &[crasher].into_iter().collect(), &pattern);
+    let ps = model.member_pseudosphere(
+        &input_simplex(&[0u8, 1, 2]),
+        &[crasher].into_iter().collect(),
+        &pattern,
+    );
     assert_eq!(facets.len() as u128, ps.facet_count());
 }

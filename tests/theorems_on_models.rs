@@ -29,7 +29,10 @@ fn theorem5_identity_c0() {
     for n in 2..=3usize {
         let ps = Pseudosphere::uniform(process_simplex(n), set(&[0, 1]));
         let check = check_theorem5(&proto, &ps, 0);
-        assert!(check.hypothesis_holds && check.conclusion_holds, "n={n}: {check:?}");
+        assert!(
+            check.hypothesis_holds && check.conclusion_holds,
+            "n={n}: {check:?}"
+        );
     }
 }
 
