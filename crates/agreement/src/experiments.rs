@@ -199,6 +199,97 @@ pub fn semisync_solvable(
     solvability(&complex, &task, allowed_values_ss)
 }
 
+/// One `(model, n, r, k, f)` grid point of a solvability sweep.
+///
+/// A point names one of the three model drivers plus its instance
+/// parameters, so a whole parameter grid can be queued as data and
+/// dispatched to the worker pool by [`solvability_sweep`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SweepPoint {
+    /// [`async_solvable`]`(k, f, n_plus_1, rounds)`.
+    Async {
+        /// Agreement parameter `k`.
+        k: usize,
+        /// Failure budget `f`.
+        f: usize,
+        /// Number of processes `n + 1`.
+        n_plus_1: usize,
+        /// Rounds `r`.
+        rounds: usize,
+    },
+    /// [`sync_solvable`]`(k, f, n_plus_1, k_per_round, rounds)`.
+    Sync {
+        /// Agreement parameter `k`.
+        k: usize,
+        /// Failure budget `f`.
+        f: usize,
+        /// Number of processes `n + 1`.
+        n_plus_1: usize,
+        /// Crashes allowed per round.
+        k_per_round: usize,
+        /// Rounds `r`.
+        rounds: usize,
+    },
+    /// [`semisync_solvable`]`(k, f, n_plus_1, k_per_round, microrounds, rounds)`.
+    SemiSync {
+        /// Agreement parameter `k`.
+        k: usize,
+        /// Failure budget `f`.
+        f: usize,
+        /// Number of processes `n + 1`.
+        n_plus_1: usize,
+        /// Crashes allowed per round.
+        k_per_round: usize,
+        /// Microrounds per round `p`.
+        microrounds: u32,
+        /// Rounds `r`.
+        rounds: usize,
+    },
+}
+
+impl SweepPoint {
+    /// Runs this grid point's solver (serially, in the calling thread).
+    pub fn run(&self) -> SolvabilityResult {
+        match *self {
+            SweepPoint::Async {
+                k,
+                f,
+                n_plus_1,
+                rounds,
+            } => async_solvable(k, f, n_plus_1, rounds),
+            SweepPoint::Sync {
+                k,
+                f,
+                n_plus_1,
+                k_per_round,
+                rounds,
+            } => sync_solvable(k, f, n_plus_1, k_per_round, rounds),
+            SweepPoint::SemiSync {
+                k,
+                f,
+                n_plus_1,
+                k_per_round,
+                microrounds,
+                rounds,
+            } => semisync_solvable(k, f, n_plus_1, k_per_round, microrounds, rounds),
+        }
+    }
+}
+
+/// Runs every grid point as an independent job on a worker pool of
+/// `threads` threads (see [`ps_topology::parallel`]). Results come back
+/// in input order regardless of scheduling, so the output is identical
+/// to running each point serially.
+pub fn solvability_sweep(points: &[SweepPoint], threads: usize) -> Vec<SolvabilityResult> {
+    ps_topology::parallel::parallel_map(points, threads, |_, p| p.run())
+}
+
+/// [`solvability_sweep`] with the globally configured thread count
+/// ([`ps_topology::parallel::configured_threads`]).
+pub fn solvability_sweep_auto(points: &[SweepPoint]) -> Vec<SolvabilityResult> {
+    solvability_sweep(points, ps_topology::parallel::configured_threads())
+}
+
 /// Approximate-agreement experiment: is there a decision map on the
 /// r-round asynchronous complex whose values (a) are within the convex
 /// hull of known inputs (validity) and (b) span at most `range` on every
@@ -297,6 +388,54 @@ pub fn corollary10_async(k: usize, n_plus_1: usize, rounds: usize) -> Corollary1
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sweep_matches_serial_loop() {
+        let points = vec![
+            SweepPoint::Async {
+                k: 1,
+                f: 1,
+                n_plus_1: 2,
+                rounds: 1,
+            },
+            SweepPoint::Sync {
+                k: 1,
+                f: 1,
+                n_plus_1: 2,
+                k_per_round: 1,
+                rounds: 1,
+            },
+            SweepPoint::Sync {
+                k: 1,
+                f: 1,
+                n_plus_1: 2,
+                k_per_round: 1,
+                rounds: 2,
+            },
+            SweepPoint::SemiSync {
+                k: 1,
+                f: 1,
+                n_plus_1: 2,
+                k_per_round: 1,
+                microrounds: 2,
+                rounds: 1,
+            },
+            SweepPoint::Async {
+                k: 2,
+                f: 1,
+                n_plus_1: 3,
+                rounds: 1,
+            },
+        ];
+        let serial: Vec<_> = points.iter().map(SweepPoint::run).collect();
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                solvability_sweep(&points, threads),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
 
     #[test]
     fn approximate_agreement_contrast_with_consensus() {

@@ -43,5 +43,6 @@ pub mod experiments;
 pub use experiments::{
     allowed_values, allowed_values_ss, async_approximate_solvable, async_solvable,
     async_task_complex, corollary10_async, input_faces, semisync_solvable, semisync_task_complex,
-    solvability, sync_solvable, sync_task_complex, Corollary10Report, SolvabilityResult,
+    solvability, solvability_sweep, solvability_sweep_auto, sync_solvable, sync_task_complex,
+    Corollary10Report, SolvabilityResult, SweepPoint,
 };

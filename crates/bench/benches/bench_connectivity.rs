@@ -69,5 +69,57 @@ fn bench_analyzer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prover_vs_homology, bench_analyzer);
+/// Parallel vs. serial homology on the n = 4, r = 2 synchronous
+/// protocol complex (the workhorse instance of the Theorem 18 sweep).
+/// Thread counts above the host's core count measure dispatch overhead
+/// only; wall-clock gains require real cores.
+fn bench_parallel_homology(c: &mut Criterion) {
+    use ps_models::{input_simplex, SyncModel};
+    let mut group = c.benchmark_group("parallel_homology");
+    group.sample_size(10);
+    let complex = SyncModel::new(4, 1, 1).protocol_complex(&input_simplex(&[0u8, 1, 2, 3]), 2);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("reduced_sync_n4_r2", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(Homology::reduced_with_threads(&complex, t))),
+        );
+    }
+    group.finish();
+}
+
+/// Batched model sweep: the (k, r) grid of sync solvability instances
+/// dispatched as a job queue on the shared pool.
+fn bench_sweep_batch(c: &mut Criterion) {
+    use ps_agreement::{solvability_sweep, SweepPoint};
+    let mut group = c.benchmark_group("solvability_sweep");
+    group.sample_size(10);
+    let points: Vec<SweepPoint> = (1..=2usize)
+        .flat_map(|k| {
+            (1..=2usize).map(move |rounds| SweepPoint::Sync {
+                k,
+                f: 1,
+                n_plus_1: 3,
+                k_per_round: 1,
+                rounds,
+            })
+        })
+        .collect();
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sync_n3_grid4", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(solvability_sweep(&points, t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prover_vs_homology,
+    bench_analyzer,
+    bench_parallel_homology,
+    bench_sweep_batch
+);
 criterion_main!(benches);

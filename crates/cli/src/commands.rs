@@ -4,7 +4,8 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use ps_agreement::{
-    async_solvable, semisync_solvable, stretch_experiment, sync_solvable, FloodSet,
+    async_solvable, semisync_solvable, solvability_sweep_auto, stretch_experiment, sync_solvable,
+    FloodSet, SweepPoint,
 };
 use ps_core::{process_simplex, MvProver, ProcessId, Pseudosphere};
 use ps_models::{input_simplex, AsyncModel, IisModel, SemiSyncModel, SyncModel};
@@ -23,19 +24,33 @@ usage:
   psph prove <sync|semisync> [--procs N] [--k K] [--p P] [--level L]
   psph solve <async|sync|semisync> [--procs N] [--f F] [--k K]
                [--p P] [--rounds R]
+  psph sweep <async|sync|semisync> [--procs N] [--f F] [--k K]
+               [--p P] [--rounds R]
   psph simulate [--procs N] [--f F] [--k K] [--seeds S]
   psph stretch [--procs N] [--k K] [--c1 T] [--c2 T] [--d T]
   psph chain [--procs N]
 
-defaults: --procs 3 --f 1 --k 1 --p 2 --rounds 1";
+defaults: --procs 3 --f 1 --k 1 --p 2 --rounds 1
+global: --threads T  worker threads for homology and sweeps
+        (default: all cores; PS_THREADS overrides)";
 
 /// Dispatches a parsed command line.
 pub fn run(args: &Args) -> Result<(), ArgError> {
+    if let Some(t) = args.options.get("threads") {
+        let t: usize = t
+            .parse()
+            .map_err(|_| ArgError(format!("--threads expects an integer, got `{t}`")))?;
+        if t == 0 {
+            return Err(ArgError("--threads must be at least 1".into()));
+        }
+        ps_topology::parallel::set_threads(Some(t));
+    }
     match args.command.as_deref() {
         Some("figure") => figure(args),
         Some("complex") => complex(args),
         Some("prove") => prove(args),
         Some("solve") => solve(args),
+        Some("sweep") => sweep(args),
         Some("simulate") => simulate(args),
         Some("stretch") => stretch(args),
         Some("chain") => chain(args),
@@ -254,6 +269,79 @@ fn solve(args: &Args) -> Result<(), ArgError> {
         println!("  decision map EXISTS (witness found by exhaustive search)");
     } else {
         println!("  NO decision map exists (proved by exhaustive search)");
+    }
+    Ok(())
+}
+
+/// Batched solvability sweep: every `(k, r)` grid point up to the given
+/// bounds runs as an independent job on the worker pool.
+fn sweep(args: &Args) -> Result<(), ArgError> {
+    let model = first_positional(args, "model (async|sync|semisync)")?;
+    let n = args.usize_opt("procs", 3)?;
+    let f = args.usize_opt("f", 1)?;
+    let k_max = args.usize_opt("k", 1)?;
+    let p = args.usize_opt("p", 2)? as u32;
+    let r_max = args.usize_opt("rounds", 1)?;
+    let mut points = Vec::new();
+    for k in 1..=k_max.max(1) {
+        for rounds in 1..=r_max.max(1) {
+            let k_per_round = k.max(1).min(f.max(1));
+            points.push(match model.as_str() {
+                "async" => SweepPoint::Async {
+                    k,
+                    f,
+                    n_plus_1: n,
+                    rounds,
+                },
+                "sync" => SweepPoint::Sync {
+                    k,
+                    f,
+                    n_plus_1: n,
+                    k_per_round,
+                    rounds,
+                },
+                "semisync" => SweepPoint::SemiSync {
+                    k,
+                    f,
+                    n_plus_1: n,
+                    k_per_round,
+                    microrounds: p,
+                    rounds,
+                },
+                other => return Err(ArgError(format!("unknown model `{other}`"))),
+            });
+        }
+    }
+    let threads = ps_topology::parallel::configured_threads();
+    println!(
+        "{model} sweep: {n} processes, f = {f}, k = 1..={}, r = 1..={} ({} points, {threads} threads)",
+        k_max.max(1),
+        r_max.max(1),
+        points.len()
+    );
+    let results = solvability_sweep_auto(&points);
+    println!(
+        "  {:>3} {:>3} {:>10} {:>8}  outcome",
+        "k", "r", "vertices", "facets"
+    );
+    for (pt, res) in points.iter().zip(&results) {
+        let (k, rounds) = match *pt {
+            SweepPoint::Async { k, rounds, .. }
+            | SweepPoint::Sync { k, rounds, .. }
+            | SweepPoint::SemiSync { k, rounds, .. } => (k, rounds),
+        };
+        println!(
+            "  {:>3} {:>3} {:>10} {:>8}  {}",
+            k,
+            rounds,
+            res.vertices,
+            res.facets,
+            if res.solvable {
+                "solvable"
+            } else {
+                "NO decision map"
+            }
+        );
     }
     Ok(())
 }

@@ -7,7 +7,12 @@
 //! psph prove <sync|semisync> [--procs N] [--k K] [--p P] [--level L]
 //! psph solve <async|sync|semisync> [--procs N] [--f F] [--k K]
 //!              [--p P] [--rounds R]
+//! psph sweep <async|sync|semisync> [--procs N] [--f F] [--k K]
+//!              [--p P] [--rounds R]
 //! psph simulate [--procs N] [--f F] [--k K] [--seeds S]
+//!
+//! All subcommands accept a global `--threads T` (worker threads for
+//! homology and sweeps; `PS_THREADS` overrides the default).
 //! psph stretch [--procs N] [--k K] [--c1 T] [--c2 T] [--d T]
 //! psph chain [--procs N]
 //! ```

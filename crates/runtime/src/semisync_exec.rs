@@ -387,10 +387,10 @@ impl<O: Label> TimedTrace<O> {
     }
 }
 
-/// Time-ordered event queue: (time, kind, sequence) min-heap.
-type EventHeap<M> = BinaryHeap<Reverse<(u64, EventKind<M>, u64)>>;
+/// Time-ordered event queue: a min-heap of [`QueuedEvent`]s.
+type EventHeap<M> = BinaryHeap<Reverse<QueuedEvent<M>>>;
 
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, Debug)]
 enum EventKind<M> {
     // Deliveries sort before steps at equal times so a step sees all
     // messages that arrived "by" its step time.
@@ -402,6 +402,59 @@ enum EventKind<M> {
     Step {
         p: ProcessId,
     },
+}
+
+impl<M> EventKind<M> {
+    /// Heap ordering discriminant: deliveries before steps at equal
+    /// times.
+    fn discriminant(&self) -> u8 {
+        match self {
+            EventKind::Deliver { .. } => 0,
+            EventKind::Step { .. } => 1,
+        }
+    }
+}
+
+/// A scheduled event. Ordering is strictly `(time, kind discriminant,
+/// seq)`: the payload fields of [`EventKind`] take no part in it, so two
+/// same-channel messages scheduled at the same tick pop in send (`seq`)
+/// order — the FIFO-per-channel guarantee. (A derived `Ord` on
+/// [`EventKind`] would tie-break same-tick deliveries by destination,
+/// source, and finally message *payload* before the heap ever reached
+/// `seq`, breaking FIFO.)
+#[derive(Clone, Debug)]
+struct QueuedEvent<M> {
+    time: u64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> QueuedEvent<M> {
+    fn key(&self) -> (u64, u8, u64) {
+        (self.time, self.kind.discriminant(), self.seq)
+    }
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        // `seq` is unique per queued event, so key equality only occurs
+        // for the same event — consistent with Ord below.
+        self.key() == other.key()
+    }
+}
+
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
 }
 
 /// The timed discrete-event executor.
@@ -470,25 +523,32 @@ impl<P: TimedProtocol> TimedExecutor<P> {
                 (self.params.c1..=self.params.c2).contains(&dt),
                 "step interval out of range"
             );
-            heap.push(Reverse((dt, EventKind::Step { p: *p }, seq)));
+            heap.push(Reverse(QueuedEvent {
+                time: dt,
+                seq,
+                kind: EventKind::Step { p: *p },
+            }));
             seq += 1;
         }
 
         let mut end_time = 0;
-        while let Some(Reverse((now, kind, _))) = heap.pop() {
+        while let Some(Reverse(ev)) = heap.pop() {
+            let now = ev.time;
             if now > max_time {
                 end_time = max_time;
                 break;
             }
             end_time = now;
-            match kind {
+            match ev.kind {
                 EventKind::Deliver { dst, src, msg } => {
-                    delivered_count += 1;
                     if let Some(crash) = crashes.get(&dst) {
                         if now >= *crash {
                             continue; // crashed receivers drop messages
                         }
                     }
+                    // counted only once the crash check passes: dropped
+                    // messages are not "delivered"
+                    delivered_count += 1;
                     events.push(TimedEvent::Deliver(now, src, dst));
                     inboxes.get_mut(&dst).unwrap().push((src, msg));
                 }
@@ -498,7 +558,14 @@ impl<P: TimedProtocol> TimedExecutor<P> {
                             if let std::collections::btree_map::Entry::Vacant(e) = crashes.entry(p)
                             {
                                 e.insert(crash_at);
-                                events.push(TimedEvent::Crash(crash_at, p));
+                                // logged at *detection* time `now`, not at
+                                // `crash_at`: events() is appended in pop
+                                // order, and events up to `now > crash_at`
+                                // may already be logged — backdating would
+                                // break the chronological invariant. The
+                                // model-level crash time stays available
+                                // via `crashes()`.
+                                events.push(TimedEvent::Crash(now, p));
                             }
                             continue; // process stopped
                         }
@@ -524,15 +591,15 @@ impl<P: TimedProtocol> TimedExecutor<P> {
                             let at = (now + delay)
                                 .max(last_delivery.get(&channel).copied().unwrap_or(0));
                             last_delivery.insert(channel, at);
-                            heap.push(Reverse((
-                                at,
-                                EventKind::Deliver {
+                            heap.push(Reverse(QueuedEvent {
+                                time: at,
+                                seq,
+                                kind: EventKind::Deliver {
                                     dst: *q,
                                     src: p,
                                     msg: msg.clone(),
                                 },
-                                seq,
-                            )));
+                            }));
                             seq += 1;
                         }
                     }
@@ -545,7 +612,11 @@ impl<P: TimedProtocol> TimedExecutor<P> {
                             (self.params.c1..=self.params.c2).contains(&dt),
                             "step interval out of range"
                         );
-                        heap.push(Reverse((now + dt, EventKind::Step { p }, seq)));
+                        heap.push(Reverse(QueuedEvent {
+                            time: now + dt,
+                            seq,
+                            kind: EventKind::Step { p },
+                        }));
                         seq += 1;
                     }
                 }
@@ -743,5 +814,151 @@ mod tests {
         let trace = exec.run(&[5], &mut Lockstep, 100);
         assert_eq!(trace.steps_taken()[&ProcessId(0)], 3);
         assert_eq!(trace.decision(ProcessId(0)).unwrap().0, 6);
+    }
+
+    /// Regression: messages dropped at a crashed receiver must not count
+    /// as delivered. (The counter used to increment before the
+    /// crashed-receiver drop check.)
+    #[test]
+    fn dropped_messages_not_counted_as_delivered() {
+        // P1 crashes at t=1, detected at its first step (t=1). P0's
+        // broadcast from t=1 arrives at t=6 — after detection — and is
+        // dropped.
+        let params = TimedParams::new(1, 1, 5);
+        let exec = TimedExecutor::new(CountSteps { wait_steps: 10 }, 2, params);
+        let mut adv = StretchAdversary {
+            survivor: ProcessId(0),
+            crash_at: 1,
+        };
+        let trace = exec.run(&[0, 1], &mut adv, 50);
+        let deliver_events = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TimedEvent::Deliver(_, _, _)))
+            .count();
+        assert_eq!(deliver_events, 0, "{:?}", trace.events());
+        assert_eq!(trace.messages_delivered(), 0);
+    }
+
+    /// Regression: two same-channel messages scheduled at the same tick
+    /// must arrive in send order, not payload order. (The heap used to
+    /// tie-break same-tick deliveries through `EventKind`'s derived
+    /// `Ord`, which compares message payloads before the sequence
+    /// number.)
+    #[test]
+    fn same_tick_deliveries_keep_send_order() {
+        /// P0 broadcasts 9 at step 0, then 3 at step 1; P1 decides on its
+        /// accumulated inbox once it has heard two messages.
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        struct TwoSends;
+        #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        struct Collected {
+            me: ProcessId,
+            heard: Vec<u8>,
+        }
+        impl TimedProtocol for TwoSends {
+            type Input = u8;
+            type State = Collected;
+            type Msg = u8;
+            type Output = Vec<u8>;
+            fn init(&self, me: ProcessId, _: usize, _: u8, _: &TimedParams) -> Collected {
+                Collected {
+                    me,
+                    heard: Vec::new(),
+                }
+            }
+            fn on_step(
+                &self,
+                mut state: Collected,
+                _now: u64,
+                step: u64,
+                inbox: &[(ProcessId, u8)],
+            ) -> (Collected, Option<u8>, Option<Vec<u8>>) {
+                state.heard.extend(inbox.iter().map(|(_, m)| *m));
+                let broadcast = match (state.me, step) {
+                    (ProcessId(0), 0) => Some(9u8),
+                    (ProcessId(0), 1) => Some(3u8),
+                    _ => None,
+                };
+                let decide = (state.heard.len() >= 2 || step >= 20).then(|| state.heard.clone());
+                (state, broadcast, decide)
+            }
+        }
+
+        /// Steps at c1; the t=1 send takes 2 ticks, the t=2 send takes 1
+        /// — both land at t=3 on the same channel.
+        struct Converging;
+        impl TimedAdversary for Converging {
+            fn step_interval(&mut self, _: ProcessId, _: u64, params: &TimedParams) -> u64 {
+                params.c1
+            }
+            fn message_delay(
+                &mut self,
+                _: ProcessId,
+                _: ProcessId,
+                send: u64,
+                _: &TimedParams,
+            ) -> u64 {
+                if send == 1 {
+                    2
+                } else {
+                    1
+                }
+            }
+        }
+
+        let params = TimedParams::new(1, 1, 8);
+        let exec = TimedExecutor::new(TwoSends, 2, params);
+        let trace = exec.run(&[0, 0], &mut Converging, 100);
+        // both deliveries at t=3, in send order: 9 (sent t=1) then 3 (t=2)
+        let (t, heard) = trace.decision(ProcessId(1)).expect("P1 decides");
+        assert_eq!(*t, 3, "{:?}", trace.events());
+        assert_eq!(heard, &vec![9, 3], "FIFO per channel violated");
+    }
+
+    /// Regression: a crash detected at `now` used to be logged with
+    /// timestamp `crash_at < now` and appended after later events,
+    /// breaking `events()` chronology.
+    #[test]
+    fn late_detected_crash_logged_chronologically() {
+        /// Everyone steps at the maximum interval, so P1's crash at t=2
+        /// goes undetected until its first step at t=5 — after P0's step
+        /// at t=5 is already logged.
+        struct SlowSteps;
+        impl TimedAdversary for SlowSteps {
+            fn step_interval(&mut self, _: ProcessId, _: u64, params: &TimedParams) -> u64 {
+                params.c2
+            }
+            fn message_delay(
+                &mut self,
+                _: ProcessId,
+                _: ProcessId,
+                _: u64,
+                params: &TimedParams,
+            ) -> u64 {
+                params.d
+            }
+            fn crash_time(&self, p: ProcessId) -> Option<u64> {
+                (p == ProcessId(1)).then_some(2)
+            }
+        }
+
+        let params = TimedParams::new(1, 5, 1);
+        let exec = TimedExecutor::new(CountSteps { wait_steps: 2 }, 2, params);
+        let trace = exec.run(&[0, 1], &mut SlowSteps, 100);
+        for w in trace.events().windows(2) {
+            assert!(
+                w[0].time() <= w[1].time(),
+                "events out of order: {:?}",
+                trace.events()
+            );
+        }
+        // the crash IS logged (at detection time), and the model-level
+        // crash time stays queryable
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TimedEvent::Crash(5, ProcessId(1)))));
+        assert_eq!(trace.crashes()[&ProcessId(1)], 2);
     }
 }

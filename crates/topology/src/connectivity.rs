@@ -286,7 +286,14 @@ impl ConnectivityAnalyzer {
     /// thousands of facets where [`ConnectivityAnalyzer::new`] is too
     /// slow.
     pub fn mod2<V: Label>(k: &Complex<V>) -> Self {
-        let b2 = Homology::betti_mod2(k);
+        Self::mod2_with_threads(k, crate::parallel::configured_threads())
+    }
+
+    /// [`ConnectivityAnalyzer::mod2`] on up to `threads` threads (the
+    /// per-dimension GF(2) rank jobs run concurrently; byte-identical to
+    /// the serial path).
+    pub fn mod2_with_threads<V: Label>(k: &Complex<V>, threads: usize) -> Self {
+        let b2 = Homology::betti_mod2_with_threads(k, threads);
         let void = b2.is_empty() && k.is_void();
         let homological = if void {
             -2
@@ -315,9 +322,17 @@ impl ConnectivityAnalyzer {
     }
 
     /// Analyzes `k`: computes reduced homology, then tries collapsibility
-    /// and the π₁ heuristic.
+    /// and the π₁ heuristic. Homology runs on the configured thread
+    /// count; see [`ConnectivityAnalyzer::with_threads`].
     pub fn new<V: Label>(k: &Complex<V>) -> Self {
-        let h = Homology::reduced(k);
+        Self::with_threads(k, crate::parallel::configured_threads())
+    }
+
+    /// [`ConnectivityAnalyzer::new`] on up to `threads` threads (the
+    /// per-dimension Smith-normal-form jobs run concurrently;
+    /// byte-identical to the serial path).
+    pub fn with_threads<V: Label>(k: &Complex<V>, threads: usize) -> Self {
+        let h = Homology::reduced_with_threads(k, threads);
         let homological = h.homological_connectivity();
         let contractible_cert = if homological == i32::MAX {
             is_collapsible(k)

@@ -8,6 +8,7 @@
 //! [`crate::connectivity`] for the certificates that close the gap.
 
 use crate::chain::ChainComplex;
+use crate::parallel;
 use crate::{Complex, Label};
 
 /// An integral homology group `ℤ^betti ⊕ ℤ/t_1 ⊕ ... ⊕ ℤ/t_s`.
@@ -67,7 +68,7 @@ impl std::fmt::Display for HomologyGroup {
 /// assert_eq!(h.betti(2), 1);
 /// assert_eq!(h.homological_connectivity(), 1); // 1-connected, not 2-
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Homology {
     /// `groups[d]` = reduced `H_d`, for `d = 0..=dim`.
     groups: Vec<HomologyGroup>,
@@ -77,7 +78,21 @@ pub struct Homology {
 
 impl Homology {
     /// Computes reduced integral homology of `k` via Smith normal forms.
+    ///
+    /// Runs on the configured thread count
+    /// ([`parallel::configured_threads`]); use
+    /// [`Homology::reduced_with_threads`] for explicit control. The
+    /// parallel path is byte-identical to the serial one.
     pub fn reduced<V: Label>(k: &Complex<V>) -> Self {
+        Self::reduced_with_threads(k, parallel::configured_threads())
+    }
+
+    /// [`Homology::reduced`] on up to `threads` threads: the
+    /// per-dimension Smith-normal-form jobs are independent and run
+    /// concurrently; leftover threads shard each job's boundary-matrix
+    /// assembly by row block. All merges are by dimension index, so the
+    /// result is byte-identical to `threads = 1`.
+    pub fn reduced_with_threads<V: Label>(k: &Complex<V>, threads: usize) -> Self {
         let cc = ChainComplex::of(k);
         let dim = cc.dim();
         if dim < 0 {
@@ -87,13 +102,13 @@ impl Homology {
             };
         }
         // ranks[d] = rank over Q of ∂_d for d in 0..=dim+1 ; torsion from SNF
-        let mut rank = vec![0usize; (dim + 2) as usize];
-        let mut torsion: Vec<Vec<i128>> = vec![Vec::new(); (dim + 2) as usize];
-        for d in 0..=dim + 1 {
-            let snf = cc.boundary_int(d).smith_normal_form();
-            rank[d as usize] = snf.rank();
-            torsion[d as usize] = snf.torsion();
-        }
+        let dims: Vec<i32> = (0..=dim + 1).collect();
+        let assembly_threads = (threads / dims.len()).max(1);
+        let snfs = parallel::parallel_map(&dims, threads, |_, &d| {
+            cc.boundary_int_par(d, assembly_threads).smith_normal_form()
+        });
+        let rank: Vec<usize> = snfs.iter().map(|s| s.rank()).collect();
+        let torsion: Vec<Vec<i128>> = snfs.iter().map(|s| s.torsion()).collect();
         let mut groups = Vec::new();
         for d in 0..=dim {
             let n_d = cc.rank_of_chain_group(d);
@@ -115,16 +130,23 @@ impl Homology {
     /// number mod 2. Uses the sparse low-pivot reduction of
     /// [`crate::sparse`], which handles the thousands-of-facets protocol
     /// complexes the dense engine cannot.
+    /// Runs on the configured thread count; see
+    /// [`Homology::betti_mod2_with_threads`].
     pub fn betti_mod2<V: Label>(k: &Complex<V>) -> Vec<usize> {
+        Self::betti_mod2_with_threads(k, parallel::configured_threads())
+    }
+
+    /// [`Homology::betti_mod2`] on up to `threads` threads: one sparse
+    /// rank job per dimension, merged by dimension index (byte-identical
+    /// to `threads = 1`).
+    pub fn betti_mod2_with_threads<V: Label>(k: &Complex<V>, threads: usize) -> Vec<usize> {
         let cc = ChainComplex::of(k);
         let dim = cc.dim();
         if dim < 0 {
             return Vec::new();
         }
-        let mut rank = vec![0usize; (dim + 2) as usize];
-        for d in 0..=dim + 1 {
-            rank[d as usize] = cc.boundary_sparse(d).rank();
-        }
+        let dims: Vec<i32> = (0..=dim + 1).collect();
+        let rank = parallel::parallel_map(&dims, threads, |_, &d| cc.boundary_sparse(d).rank());
         (0..=dim)
             .map(|d| cc.rank_of_chain_group(d) - rank[d as usize] - rank[(d + 1) as usize])
             .collect()
@@ -344,6 +366,28 @@ mod tests {
             .to_string(),
             "Z"
         );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_homology() {
+        // torus: non-trivial Betti numbers in three dimensions
+        let mut facets = Vec::new();
+        for i in 0u32..7 {
+            facets.push(Simplex::from_iter([i, (i + 1) % 7, (i + 3) % 7]));
+            facets.push(Simplex::from_iter([i, (i + 2) % 7, (i + 3) % 7]));
+        }
+        let c = Complex::from_facets(facets);
+        let serial = Homology::reduced_with_threads(&c, 1);
+        let serial_b2 = Homology::betti_mod2_with_threads(&c, 1);
+        for threads in [2, 4, 16] {
+            let par = Homology::reduced_with_threads(&c, threads);
+            assert_eq!(par.groups(), serial.groups(), "threads = {threads}");
+            assert_eq!(
+                Homology::betti_mod2_with_threads(&c, threads),
+                serial_b2,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

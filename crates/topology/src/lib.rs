@@ -36,10 +36,12 @@
 #![warn(missing_debug_implementations)]
 
 /// Trait alias for vertex-label types: cloneable, totally ordered,
-/// hashable, and debuggable. Blanket-implemented; never implement
-/// manually.
-pub trait Label: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug {}
-impl<T: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> Label for T {}
+/// hashable, debuggable, and shareable across threads (labels are plain
+/// data; the `Send + Sync` bounds let the [`parallel`] work-sharding
+/// layer run homology jobs over complexes concurrently).
+/// Blanket-implemented; never implement manually.
+pub trait Label: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug + Send + Sync {}
+impl<T: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug + Send + Sync> Label for T {}
 
 mod simplex;
 pub use simplex::Simplex;
@@ -51,6 +53,8 @@ pub mod intern;
 pub use intern::{IdComplex, IdSimplex, InternedBuilder, VertexPool};
 
 pub mod matrix;
+
+pub mod parallel;
 
 pub mod sparse;
 

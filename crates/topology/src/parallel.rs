@@ -1,0 +1,208 @@
+//! Deterministic work sharding across OS threads.
+//!
+//! The homology pipeline is embarrassingly parallel once the basis is
+//! interned: per-dimension rank/Smith-normal-form jobs are independent,
+//! and boundary-matrix assembly splits into disjoint row blocks. This
+//! module is the small slice of a thread pool those call sites need,
+//! built on [`std::thread::scope`] (the workspace is offline; no rayon).
+//!
+//! **Determinism argument.** Parallelism here never reorders work, only
+//! distributes it: each job is identified by its index in the input
+//! slice, workers pull indices from an atomic counter, and results are
+//! merged back *by job index* after the scope joins. The output of
+//! [`parallel_map`] is therefore byte-identical to the serial
+//! `items.iter().map(f)` loop regardless of thread count or OS
+//! scheduling — there are no reductions whose order depends on timing.
+//! Callers shard only *independent* units (dimensions, row blocks, grid
+//! points) and keep every merge a by-index concatenation.
+//!
+//! Thread-count resolution (first match wins):
+//!
+//! 1. an explicit in-process override set via [`set_threads`] (the
+//!    `--threads` CLI flag),
+//! 2. the `PS_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// In-process override; `0` means "unset".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or clears, with `None`) the in-process thread-count override.
+/// Takes precedence over `PS_THREADS` and the hardware default.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The thread count the pipeline will use: the [`set_threads`] override
+/// if set, else `PS_THREADS` if it parses to a positive integer, else
+/// [`std::thread::available_parallelism`] (1 if unavailable).
+pub fn configured_threads() -> usize {
+    let explicit = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("PS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` over every item on up to `threads` OS threads and returns
+/// the results in input order.
+///
+/// Work distribution is dynamic (an atomic index counter, so uneven
+/// jobs balance), but the merge is by job index, making the result
+/// byte-identical to the serial map. With `threads <= 1`, or fewer than
+/// two items, no threads are spawned at all.
+///
+/// # Panics
+///
+/// Propagates a panic from any job.
+pub fn parallel_map<T, O, F>(items: &[T], threads: usize, f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(usize, &T) -> O + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Workers get the main thread's usual 8 MiB stack instead of the
+    // 2 MiB spawn default: jobs run the same deep recursions (solver
+    // backtracking, execution-tree construction) the serial path runs
+    // on the main stack, and must not overflow earlier than it would.
+    const WORKER_STACK: usize = 8 << 20;
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                std::thread::Builder::new()
+                    .stack_size(WORKER_STACK)
+                    .spawn_scoped(s, || {
+                        let mut local: Vec<(usize, O)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                    .expect("failed to spawn parallel_map worker")
+            })
+            .collect();
+        for h in handles {
+            for (i, out) in h.join().expect("parallel_map worker panicked") {
+                slots[i] = Some(out);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every job index assigned exactly once"))
+        .collect()
+}
+
+/// Splits `0..rows` into at most `blocks` contiguous ranges of
+/// near-equal size (the larger remainders go to the earlier blocks).
+/// Returns no ranges when `rows == 0`.
+pub fn row_blocks(rows: usize, blocks: usize) -> Vec<Range<usize>> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    let blocks = blocks.clamp(1, rows);
+    let base = rows / blocks;
+    let extra = rows % blocks;
+    let mut out = Vec::with_capacity(blocks);
+    let mut start = 0;
+    for b in 0..blocks {
+        let len = base + usize::from(b < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_serial_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 1000] {
+            let par = parallel_map(&items, threads, |_, &x| x * x + 1);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = parallel_map(&items, 4, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_jobs_balance() {
+        // jobs with wildly different costs still land in input order
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, 4, |_, &x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn row_blocks_partition() {
+        for rows in [0usize, 1, 2, 7, 64, 65, 1000] {
+            for blocks in [1usize, 2, 3, 8, 2000] {
+                let ranges = row_blocks(rows, blocks);
+                if rows == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert!(ranges.len() <= blocks.max(1));
+                assert_eq!(ranges.first().unwrap().start, 0);
+                assert_eq!(ranges.last().unwrap().end, rows);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                // near-equal sizes: max - min <= 1
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "rows={rows} blocks={blocks} {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn override_beats_env() {
+        set_threads(Some(3));
+        assert_eq!(configured_threads(), 3);
+        set_threads(None);
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the timed executor's event accounting.
+//!
+//! Over random `RandomTimedAdversary` schedules (random step intervals,
+//! message delays, and crash patterns) every execution must satisfy:
+//!
+//! 1. `events()` is chronological (non-decreasing timestamps),
+//! 2. message delivery is FIFO per channel — each receiver hears every
+//!    sender's step numbers in strictly increasing order,
+//! 3. `messages_delivered()` equals the number of `Deliver` events.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use pseudosphere::core::ProcessId;
+use pseudosphere::runtime::{
+    RandomTimedAdversary, TimedEvent, TimedExecutor, TimedParams, TimedProtocol,
+};
+
+/// Each process broadcasts its step number on every step and decides on
+/// its accumulated `(sender, step)` log once it has taken `decide_step`
+/// steps. The log order is exactly the delivery order at that process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct StepEcho {
+    decide_step: u64,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct EchoState {
+    log: Vec<(u32, u64)>,
+}
+
+impl TimedProtocol for StepEcho {
+    type Input = u8;
+    type State = EchoState;
+    type Msg = u64;
+    type Output = Vec<(u32, u64)>;
+
+    fn init(&self, _me: ProcessId, _n: usize, _input: u8, _p: &TimedParams) -> EchoState {
+        EchoState { log: Vec::new() }
+    }
+
+    fn on_step(
+        &self,
+        mut state: EchoState,
+        _now: u64,
+        step: u64,
+        inbox: &[(ProcessId, u64)],
+    ) -> (EchoState, Option<u64>, Option<Vec<(u32, u64)>>) {
+        state.log.extend(inbox.iter().map(|(p, m)| (p.0, *m)));
+        let decide = (step + 1 >= self.decide_step).then(|| state.log.clone());
+        (state, Some(step), decide)
+    }
+}
+
+/// FIFO per channel: because sender `s` broadcasts strictly increasing
+/// step numbers, receiver logs restricted to `s` must be strictly
+/// increasing.
+fn assert_fifo_per_channel(log: &[(u32, u64)]) {
+    let mut last: BTreeMap<u32, u64> = BTreeMap::new();
+    for &(src, step) in log {
+        if let Some(prev) = last.get(&src) {
+            assert!(
+                step > *prev,
+                "channel from P{src} reordered: step {step} after {prev} in {log:?}"
+            );
+        }
+        last.insert(src, step);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_schedules_keep_accounting_invariants(
+        seed in 0u64..10_000,
+        n in 2usize..5,
+        c2 in 1u64..4,
+        d in 1u64..6,
+        crash_bits in 0u32..8,
+        crash_at in 1u64..20,
+    ) {
+        // crash a subset of processes (never all: keep at least P0 alive)
+        let crashes: BTreeMap<ProcessId, u64> = (1..n as u32)
+            .filter(|i| crash_bits & (1 << i) != 0)
+            .map(|i| (ProcessId(i), crash_at + i as u64))
+            .collect();
+
+        let params = TimedParams::new(1, c2, d);
+        let exec = TimedExecutor::new(StepEcho { decide_step: 6 }, n, params);
+        let mut adv = RandomTimedAdversary::new(seed, crashes.clone());
+        let inputs = vec![0u8; n];
+        let trace = exec.run(&inputs, &mut adv, 200);
+
+        // 1. chronological event log
+        for w in trace.events().windows(2) {
+            prop_assert!(
+                w[0].time() <= w[1].time(),
+                "events out of order: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+
+        // 2. FIFO per channel, at every process that decided
+        for p in 0..n as u32 {
+            if let Some((_, log)) = trace.decision(ProcessId(p)) {
+                assert_fifo_per_channel(log);
+            }
+        }
+        // non-crashed processes must decide (steps are bounded, horizon ample)
+        for p in 0..n as u32 {
+            if !crashes.contains_key(&ProcessId(p)) {
+                prop_assert!(
+                    trace.decision(ProcessId(p)).is_some(),
+                    "P{p} failed to decide"
+                );
+            }
+        }
+
+        // 3. the delivered counter matches the logged Deliver events
+        let deliver_events = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TimedEvent::Deliver(_, _, _)))
+            .count();
+        prop_assert_eq!(trace.messages_delivered(), deliver_events as u64);
+    }
+}
