@@ -11,13 +11,13 @@
 //! impossibility proof for the instance, because any protocol for the
 //! model must in particular decide on those executions.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ps_core::ProcessId;
 use ps_models::{AsyncModel, InputSimplex, SemiSyncModel, SsView, SyncModel, View};
-use ps_topology::{Complex, Label, Simplex};
+use ps_topology::{Complex, IdComplex, InternedBuilder, Label, Simplex, VertexPool};
 
-use crate::solver::DecisionMapSolver;
+use crate::solver::{AgreementConstraint, DecisionMapSolver, PreparedInstance};
 use crate::task::KSetAgreement;
 
 /// All input faces of the task's input complex `ψ(Pⁿ; V)` with at least
@@ -77,6 +77,69 @@ pub fn allowed_values_ss(view: &SsView<u64>) -> BTreeSet<u64> {
     view.known_inputs().values().copied().collect()
 }
 
+/// The r-round asynchronous task complex `A^r` over the full input
+/// complex (participation down to `n + 1 - f`), in interned form:
+/// every input face's execution tree accumulates into **one** shared
+/// vertex pool and facet anti-chain, so no per-face label complex (or
+/// label-level union) is ever materialized.
+pub fn async_task_parts(
+    values: &BTreeSet<u64>,
+    n_plus_1: usize,
+    f: usize,
+    rounds: usize,
+) -> (VertexPool<View<u64>>, IdComplex) {
+    let model = AsyncModel::new(n_plus_1, f);
+    let mut out = InternedBuilder::new();
+    for input in input_faces(n_plus_1, values, n_plus_1.saturating_sub(f)) {
+        model.protocol_complex_into(&input, rounds, &mut out);
+    }
+    out.into_parts()
+}
+
+/// The r-round synchronous task complex `S^r` over the full input
+/// complex, in interned form (see [`async_task_parts`]). Initial
+/// crashes (non-participants) consume failure budget; later rounds
+/// crash at most `k_per_round` each, within what remains.
+pub fn sync_task_parts(
+    values: &BTreeSet<u64>,
+    n_plus_1: usize,
+    k_per_round: usize,
+    f_total: usize,
+    rounds: usize,
+) -> (VertexPool<View<u64>>, IdComplex) {
+    let mut out = InternedBuilder::new();
+    for input in input_faces(n_plus_1, values, n_plus_1.saturating_sub(f_total)) {
+        let initial_crashes = n_plus_1 - input.len();
+        let model = SyncModel::new(n_plus_1, k_per_round, f_total - initial_crashes);
+        model.protocol_complex_into(&input, rounds, &mut out);
+    }
+    out.into_parts()
+}
+
+/// The r-round semi-synchronous task complex `M^r` over the full input
+/// complex, in interned form (see [`async_task_parts`]).
+pub fn semisync_task_parts(
+    values: &BTreeSet<u64>,
+    n_plus_1: usize,
+    k_per_round: usize,
+    f_total: usize,
+    microrounds: u32,
+    rounds: usize,
+) -> (VertexPool<SsView<u64>>, IdComplex) {
+    let mut out = InternedBuilder::new();
+    for input in input_faces(n_plus_1, values, n_plus_1.saturating_sub(f_total)) {
+        let initial_crashes = n_plus_1 - input.len();
+        let model = SemiSyncModel::new(
+            n_plus_1,
+            k_per_round,
+            f_total - initial_crashes,
+            microrounds,
+        );
+        model.protocol_complex_into(&input, rounds, &mut out);
+    }
+    out.into_parts()
+}
+
 /// The r-round asynchronous task complex: `A^r` over the full input
 /// complex (participation down to `n + 1 - f`).
 pub fn async_task_complex(
@@ -85,12 +148,8 @@ pub fn async_task_complex(
     f: usize,
     rounds: usize,
 ) -> Complex<View<u64>> {
-    let model = AsyncModel::new(n_plus_1, f);
-    let mut out = Complex::new();
-    for input in input_faces(n_plus_1, &task.values, n_plus_1.saturating_sub(f)) {
-        out = out.union(&model.protocol_complex(&input, rounds));
-    }
-    out
+    let (pool, complex) = async_task_parts(&task.values, n_plus_1, f, rounds);
+    Complex::from_interned(&pool, &complex)
 }
 
 /// The r-round synchronous task complex: `S^r` over the full input
@@ -103,13 +162,8 @@ pub fn sync_task_complex(
     f_total: usize,
     rounds: usize,
 ) -> Complex<View<u64>> {
-    let mut out = Complex::new();
-    for input in input_faces(n_plus_1, &task.values, n_plus_1.saturating_sub(f_total)) {
-        let initial_crashes = n_plus_1 - input.len();
-        let model = SyncModel::new(n_plus_1, k_per_round, f_total - initial_crashes);
-        out = out.union(&model.protocol_complex(&input, rounds));
-    }
-    out
+    let (pool, complex) = sync_task_parts(&task.values, n_plus_1, k_per_round, f_total, rounds);
+    Complex::from_interned(&pool, &complex)
 }
 
 /// The r-round semi-synchronous task complex: `M^r` over the full input
@@ -122,18 +176,15 @@ pub fn semisync_task_complex(
     microrounds: u32,
     rounds: usize,
 ) -> Complex<SsView<u64>> {
-    let mut out = Complex::new();
-    for input in input_faces(n_plus_1, &task.values, n_plus_1.saturating_sub(f_total)) {
-        let initial_crashes = n_plus_1 - input.len();
-        let model = SemiSyncModel::new(
-            n_plus_1,
-            k_per_round,
-            f_total - initial_crashes,
-            microrounds,
-        );
-        out = out.union(&model.protocol_complex(&input, rounds));
-    }
-    out
+    let (pool, complex) = semisync_task_parts(
+        &task.values,
+        n_plus_1,
+        k_per_round,
+        f_total,
+        microrounds,
+        rounds,
+    );
+    Complex::from_interned(&pool, &complex)
 }
 
 /// Outcome of a solvability check on one instance.
@@ -247,7 +298,99 @@ pub enum SweepPoint {
     },
 }
 
+/// The complex-determining parameters of a [`SweepPoint`]: everything
+/// except the agreement parameter `k`. Points sharing a key search the
+/// **same** protocol complex (once the value domain is fixed), which is
+/// what [`solvability_sweep_shared`] exploits.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SweepKey {
+    /// Asynchronous instance family.
+    Async {
+        /// Failure budget `f`.
+        f: usize,
+        /// Number of processes `n + 1`.
+        n_plus_1: usize,
+        /// Rounds `r`.
+        rounds: usize,
+    },
+    /// Synchronous instance family.
+    Sync {
+        /// Failure budget `f`.
+        f: usize,
+        /// Number of processes `n + 1`.
+        n_plus_1: usize,
+        /// Crashes allowed per round.
+        k_per_round: usize,
+        /// Rounds `r`.
+        rounds: usize,
+    },
+    /// Semi-synchronous instance family.
+    SemiSync {
+        /// Failure budget `f`.
+        f: usize,
+        /// Number of processes `n + 1`.
+        n_plus_1: usize,
+        /// Crashes allowed per round.
+        k_per_round: usize,
+        /// Microrounds per round `p`.
+        microrounds: u32,
+        /// Rounds `r`.
+        rounds: usize,
+    },
+}
+
 impl SweepPoint {
+    /// The agreement parameter `k` of this point.
+    pub fn k(&self) -> usize {
+        match *self {
+            SweepPoint::Async { k, .. }
+            | SweepPoint::Sync { k, .. }
+            | SweepPoint::SemiSync { k, .. } => k,
+        }
+    }
+
+    /// The complex-determining part of this point (everything but `k`).
+    pub fn shared_key(&self) -> SweepKey {
+        match *self {
+            SweepPoint::Async {
+                f,
+                n_plus_1,
+                rounds,
+                ..
+            } => SweepKey::Async {
+                f,
+                n_plus_1,
+                rounds,
+            },
+            SweepPoint::Sync {
+                f,
+                n_plus_1,
+                k_per_round,
+                rounds,
+                ..
+            } => SweepKey::Sync {
+                f,
+                n_plus_1,
+                k_per_round,
+                rounds,
+            },
+            SweepPoint::SemiSync {
+                f,
+                n_plus_1,
+                k_per_round,
+                microrounds,
+                rounds,
+                ..
+            } => SweepKey::SemiSync {
+                f,
+                n_plus_1,
+                k_per_round,
+                microrounds,
+                rounds,
+            },
+        }
+    }
+
     /// Runs this grid point's solver (serially, in the calling thread).
     pub fn run(&self) -> SolvabilityResult {
         match *self {
@@ -288,6 +431,111 @@ pub fn solvability_sweep(points: &[SweepPoint], threads: usize) -> Vec<Solvabili
 /// ([`ps_topology::parallel::configured_threads`]).
 pub fn solvability_sweep_auto(points: &[SweepPoint]) -> Vec<SolvabilityResult> {
     solvability_sweep(points, ps_topology::parallel::configured_threads())
+}
+
+/// Amortized sweep: points are grouped by [`SweepPoint::shared_key`],
+/// and each group builds its protocol complex, interns it, and indexes
+/// its facets **once**, then solves every `k` of the group against that
+/// one [`PreparedInstance`]. Each group is one job on the worker pool;
+/// results come back in input order, so the output is identical across
+/// thread counts.
+///
+/// **Value domain.** A group containing several `k` values needs a
+/// single input domain, so the whole group runs on the fixed domain
+/// `{0, …, k_max}` (where `k_max` is the group's largest `k`) rather
+/// than each point's per-`k` canonical domain `{0, …, k}`. A point with
+/// `k == k_max` is therefore *exactly* its canonical instance; a point
+/// with smaller `k` is its canonical task posed over the group's larger
+/// input domain — a harder instance (any decision map restricts to the
+/// canonical sub-domain), and for the crash-failure models here the
+/// solvability threshold is domain-size-independent, so verdicts agree
+/// with [`solvability_sweep`] (asserted by tests on small grids). The
+/// reported `vertices`/`facets` describe the complex actually searched,
+/// which for `k < k_max` is larger than the canonical one.
+pub fn solvability_sweep_shared(points: &[SweepPoint], threads: usize) -> Vec<SolvabilityResult> {
+    let mut groups: BTreeMap<SweepKey, Vec<usize>> = BTreeMap::new();
+    for (i, p) in points.iter().enumerate() {
+        groups.entry(p.shared_key()).or_default().push(i);
+    }
+    let jobs: Vec<(SweepKey, Vec<usize>)> = groups.into_iter().collect();
+    let per_group: Vec<Vec<SolvabilityResult>> =
+        ps_topology::parallel::parallel_map(&jobs, threads, |_, (key, idxs)| {
+            let k_max = idxs
+                .iter()
+                .map(|&i| points[i].k())
+                .max()
+                .expect("group is nonempty");
+            let values: BTreeSet<u64> = (0..=k_max as u64).collect();
+            let ks = idxs.iter().map(|&i| points[i].k());
+            match *key {
+                SweepKey::Async {
+                    f,
+                    n_plus_1,
+                    rounds,
+                } => {
+                    let (pool, complex) = async_task_parts(&values, n_plus_1, f, rounds);
+                    let inst = PreparedInstance::from_interned(&pool, &complex, allowed_values);
+                    solve_group(&inst, ks)
+                }
+                SweepKey::Sync {
+                    f,
+                    n_plus_1,
+                    k_per_round,
+                    rounds,
+                } => {
+                    let (pool, complex) =
+                        sync_task_parts(&values, n_plus_1, k_per_round, f, rounds);
+                    let inst = PreparedInstance::from_interned(&pool, &complex, allowed_values);
+                    solve_group(&inst, ks)
+                }
+                SweepKey::SemiSync {
+                    f,
+                    n_plus_1,
+                    k_per_round,
+                    microrounds,
+                    rounds,
+                } => {
+                    let (pool, complex) =
+                        semisync_task_parts(&values, n_plus_1, k_per_round, f, microrounds, rounds);
+                    let inst = PreparedInstance::from_interned(&pool, &complex, allowed_values_ss);
+                    solve_group(&inst, ks)
+                }
+            }
+        });
+    // scatter group results back to input positions
+    let mut out: Vec<Option<SolvabilityResult>> = vec![None; points.len()];
+    for ((_, idxs), results) in jobs.iter().zip(per_group) {
+        for (&i, r) in idxs.iter().zip(results) {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every point belongs to exactly one group"))
+        .collect()
+}
+
+/// [`solvability_sweep_shared`] with the globally configured thread
+/// count ([`ps_topology::parallel::configured_threads`]).
+pub fn solvability_sweep_shared_auto(points: &[SweepPoint]) -> Vec<SolvabilityResult> {
+    solvability_sweep_shared(points, ps_topology::parallel::configured_threads())
+}
+
+/// Solves one shared-complex group: every `k` against the same prepared
+/// instance.
+fn solve_group<V: Label>(
+    instance: &PreparedInstance<V>,
+    ks: impl Iterator<Item = usize>,
+) -> Vec<SolvabilityResult> {
+    ks.map(|k| {
+        let mut solver = DecisionMapSolver::new();
+        let map = solver.solve_prepared(instance, AgreementConstraint::AtMostKDistinct(k));
+        SolvabilityResult {
+            solvable: map.is_some(),
+            vertices: instance.vertex_count(),
+            facets: instance.facet_count(),
+        }
+    })
+    .collect()
 }
 
 /// Approximate-agreement experiment: is there a decision map on the
@@ -435,6 +683,90 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn shared_sweep_matches_per_point_verdicts() {
+        // A mixed grid with several points per shared key (k varies) and
+        // several keys. The shared sweep fixes each group's value domain
+        // to {0..=k_max}, so vertex/facet counts may exceed the
+        // per-point canonical ones, but the verdicts must agree.
+        let mut points = Vec::new();
+        for k in 1..=2usize {
+            points.push(SweepPoint::Async {
+                k,
+                f: 1,
+                n_plus_1: 3,
+                rounds: 1,
+            });
+            points.push(SweepPoint::Sync {
+                k,
+                f: 1,
+                n_plus_1: 3,
+                k_per_round: 1,
+                rounds: 2,
+            });
+        }
+        points.push(SweepPoint::SemiSync {
+            k: 1,
+            f: 1,
+            n_plus_1: 2,
+            k_per_round: 1,
+            microrounds: 2,
+            rounds: 1,
+        });
+        let canonical = solvability_sweep(&points, 1);
+        let shared = solvability_sweep_shared(&points, 1);
+        assert_eq!(shared.len(), canonical.len());
+        for (i, (s, c)) in shared.iter().zip(&canonical).enumerate() {
+            assert_eq!(s.solvable, c.solvable, "point {i}: {:?}", points[i]);
+        }
+        // deterministic across thread counts
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                solvability_sweep_shared(&points, threads),
+                shared,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_sweep_single_k_group_is_exactly_canonical() {
+        // A group whose only k equals k_max runs on the canonical value
+        // domain, so even the vertex/facet counts must match the
+        // per-point path byte-for-byte.
+        let points = vec![
+            SweepPoint::Async {
+                k: 2,
+                f: 1,
+                n_plus_1: 3,
+                rounds: 1,
+            },
+            SweepPoint::Sync {
+                k: 1,
+                f: 1,
+                n_plus_1: 3,
+                k_per_round: 1,
+                rounds: 1,
+            },
+        ];
+        assert_eq!(
+            solvability_sweep_shared(&points, 1),
+            solvability_sweep(&points, 1)
+        );
+    }
+
+    #[test]
+    fn task_parts_match_task_complex_facade() {
+        // the interned parts are exactly the interning of the label
+        // complex the (rerouted) façade returns
+        let task = KSetAgreement::canonical(1);
+        let c = sync_task_complex(&task, 3, 1, 1, 1);
+        let (pool, idc) = sync_task_parts(&task.values, 3, 1, 1, 1);
+        assert_eq!(Complex::from_interned(&pool, &idc), c);
+        assert_eq!(idc.facet_count(), c.facet_count());
+        assert_eq!(idc.vertex_count(), c.vertex_count());
     }
 
     #[test]

@@ -25,7 +25,9 @@ mod task;
 pub use task::KSetAgreement;
 
 mod solver;
-pub use solver::{AgreementConstraint, DecisionMapSolver, SolverConfig, SolverStats};
+pub use solver::{
+    AgreementConstraint, DecisionMapSolver, PreparedInstance, SolverConfig, SolverStats,
+};
 
 mod floodset;
 pub use floodset::{FloodSet, FloodSetState};
@@ -42,7 +44,8 @@ pub use asynchronous::{OwnValue, WaitForAll};
 pub mod experiments;
 pub use experiments::{
     allowed_values, allowed_values_ss, async_approximate_solvable, async_solvable,
-    async_task_complex, corollary10_async, input_faces, semisync_solvable, semisync_task_complex,
-    solvability, solvability_sweep, solvability_sweep_auto, sync_solvable, sync_task_complex,
-    Corollary10Report, SolvabilityResult, SweepPoint,
+    async_task_complex, async_task_parts, corollary10_async, input_faces, semisync_solvable,
+    semisync_task_complex, semisync_task_parts, solvability, solvability_sweep,
+    solvability_sweep_auto, solvability_sweep_shared, solvability_sweep_shared_auto, sync_solvable,
+    sync_task_complex, sync_task_parts, Corollary10Report, SolvabilityResult, SweepKey, SweepPoint,
 };

@@ -16,10 +16,22 @@
 //! unassigned vertices are pruned to those values. `Some(map)` is a
 //! solvability witness, `None` is an instance-level impossibility
 //! **proof** (the search is exhaustive).
+//!
+//! The search is **iterative**: branching state lives in an explicit
+//! frame stack on the heap (one [`Frame`] per branched vertex), so the
+//! search depth is bounded by available memory, never by the thread
+//! stack. Mid-size protocol complexes branch on thousands of vertices —
+//! as call-stack recursion that overflowed default thread stacks, which
+//! is why CI runs this crate's suite under `RUST_MIN_STACK=262144`.
+//!
+//! Repeated solves over one complex (the k-sweep of an instance) should
+//! go through [`PreparedInstance`]: the interning, facet indexing, and
+//! validity-domain extraction happen once and every
+//! [`DecisionMapSolver::solve_prepared`] call reuses them.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use ps_topology::{Complex, Label};
+use ps_topology::{Complex, IdComplex, Label, VertexPool};
 
 /// Search statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,15 +83,95 @@ pub struct DecisionMapSolver {
     config: SolverConfig,
 }
 
-struct SearchState {
-    /// Current domain of each vertex (singleton = assigned or forced).
-    domains: Vec<BTreeSet<u64>>,
-    /// Whether the vertex has been branched on / forced.
-    assigned: Vec<Option<u64>>,
+/// A complex preprocessed for (repeated) solver runs: the facet index
+/// over dense vertex indices plus each vertex's validity domain.
+///
+/// Interning, facet indexing, and domain extraction dominate the cost
+/// of small solves and are identical for every point of a k-sweep (the
+/// validity constraint does not depend on `k`), so a sweep prepares the
+/// instance once and calls [`DecisionMapSolver::solve_prepared`] per
+/// agreement constraint.
+#[derive(Clone, Debug)]
+pub struct PreparedInstance<V> {
+    /// Vertex labels, indexed by the dense vertex index.
+    vertices: Vec<V>,
     /// Facets as vertex-index lists.
     facets: Vec<Vec<usize>>,
     /// Facets containing each vertex.
     facets_of: Vec<Vec<usize>>,
+    /// Validity domain of each vertex.
+    domains: Vec<BTreeSet<u64>>,
+}
+
+impl<V: Label> PreparedInstance<V> {
+    /// Prepares a label-typed complex: interns it into a canonical pool
+    /// (vertex index == interned id) and records each vertex's allowed
+    /// values.
+    pub fn new(complex: &Complex<V>, allowed: impl FnMut(&V) -> BTreeSet<u64>) -> Self {
+        let (pool, id_complex) = complex.to_interned();
+        Self::from_interned(&pool, &id_complex, allowed)
+    }
+
+    /// Prepares an already-interned complex without re-interning — the
+    /// reuse hook for callers that built the complex through an
+    /// [`ps_topology::InternedBuilder`] (e.g. the task-complex builders
+    /// in [`crate::experiments`]).
+    ///
+    /// The pool need not be canonical: any bijection works, because the
+    /// search order and the returned map are independent of id order.
+    /// Every pooled label is treated as a vertex, so the pool should
+    /// contain exactly the complex's vertices.
+    pub fn from_interned(
+        pool: &VertexPool<V>,
+        complex: &IdComplex,
+        allowed: impl FnMut(&V) -> BTreeSet<u64>,
+    ) -> Self {
+        debug_assert_eq!(
+            pool.len(),
+            complex.vertex_count(),
+            "pool must contain exactly the complex's vertices"
+        );
+        let vertices: Vec<V> = pool.labels().to_vec();
+        let facets: Vec<Vec<usize>> = complex
+            .facets()
+            .map(|f| f.ids().map(|i| i as usize).collect())
+            .collect();
+        let mut facets_of: Vec<Vec<usize>> = vec![Vec::new(); vertices.len()];
+        for (fi, f) in facets.iter().enumerate() {
+            for &vi in f {
+                facets_of[vi].push(fi);
+            }
+        }
+        let domains: Vec<BTreeSet<u64>> = vertices.iter().map(allowed).collect();
+        PreparedInstance {
+            vertices,
+            facets,
+            facets_of,
+            domains,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of facets.
+    pub fn facet_count(&self) -> usize {
+        self.facets.len()
+    }
+}
+
+struct SearchState<'a> {
+    /// Current domain of each vertex (singleton = assigned or forced).
+    domains: Vec<BTreeSet<u64>>,
+    /// Whether the vertex has been branched on / forced.
+    assigned: Vec<Option<u64>>,
+    /// Facets as vertex-index lists (borrowed from the prepared
+    /// instance — the search never mutates the facet index).
+    facets: &'a [Vec<usize>],
+    /// Facets containing each vertex.
+    facets_of: &'a [Vec<usize>],
     constraint: AgreementConstraint,
     forward_checking: bool,
 }
@@ -87,10 +179,14 @@ struct SearchState {
 /// Undo log entry: vertex index, removed values.
 type Trail = Vec<(usize, BTreeSet<u64>)>;
 
-impl SearchState {
+impl SearchState<'_> {
     /// Assigns `val` to `vi` and forward-checks; returns the undo trail
     /// or `None` on wipe-out.
     fn assign(&mut self, vi: usize, val: u64, stats: &mut SolverStats) -> Option<Trail> {
+        // Copy the shared facet-index refs out of `self` so the loops
+        // below can iterate them while `self.domains` is mutated.
+        let facets = self.facets;
+        let facets_of = self.facets_of;
         let mut trail: Trail = Vec::new();
         let removed: BTreeSet<u64> = self.domains[vi]
             .iter()
@@ -106,11 +202,11 @@ impl SearchState {
         // queue of vertices whose assignment may trigger facet pruning
         let mut queue = vec![vi];
         while let Some(v) = queue.pop() {
-            for &fi in &self.facets_of[v].clone() {
+            for &fi in &facets_of[v] {
                 let mut distinct: BTreeSet<u64> = BTreeSet::new();
                 let mut duplicate = false;
                 let mut assigned_count = 0usize;
-                for &w in &self.facets[fi] {
+                for &w in &facets[fi] {
                     if let Some(x) = self.assigned[w] {
                         assigned_count += 1;
                         if !distinct.insert(x) {
@@ -163,7 +259,7 @@ impl SearchState {
                 let Some((keep_only, value_set)) = prune else {
                     continue;
                 };
-                for &w in &self.facets[fi].clone() {
+                for &w in &facets[fi] {
                     if self.assigned[w].is_some() {
                         continue;
                     }
@@ -212,6 +308,30 @@ impl SearchState {
     }
 }
 
+/// One level of the iterative backtracking search: the branched vertex,
+/// its candidate values snapshotted at entry (the recursive version did
+/// the same — propagation may shrink `domains[vi]` later, but the
+/// candidate list is fixed when the vertex is selected), a cursor into
+/// them, and — while a candidate's subtree is being explored — the undo
+/// trail of its assignment.
+struct Frame {
+    vi: usize,
+    candidates: Vec<u64>,
+    next: usize,
+    trail: Option<Trail>,
+}
+
+impl Frame {
+    fn open(vi: usize, state: &SearchState<'_>) -> Self {
+        Frame {
+            vi,
+            candidates: state.domains[vi].iter().copied().collect(),
+            next: 0,
+            trail: None,
+        }
+    }
+}
+
 impl DecisionMapSolver {
     /// Creates a solver with the default configuration.
     pub fn new() -> Self {
@@ -248,49 +368,53 @@ impl DecisionMapSolver {
 
     /// [`DecisionMapSolver::solve`] generalized to any
     /// [`AgreementConstraint`].
+    ///
+    /// Prepares the instance ([`PreparedInstance::new`]) and solves it;
+    /// callers solving the same complex under several constraints
+    /// should prepare once and call
+    /// [`DecisionMapSolver::solve_prepared`] directly.
     pub fn solve_with<V: Label>(
         &mut self,
         complex: &Complex<V>,
         allowed: impl FnMut(&V) -> BTreeSet<u64>,
         constraint: AgreementConstraint,
     ) -> Option<BTreeMap<V, u64>> {
+        let prepared = PreparedInstance::new(complex, allowed);
+        self.solve_prepared(&prepared, constraint)
+    }
+
+    /// Solves a prepared instance under `constraint`, reusing its facet
+    /// index and validity domains (see [`PreparedInstance`]).
+    ///
+    /// Returns a witness map, or `None` when **no** decision map exists
+    /// (the search is exhaustive either way).
+    pub fn solve_prepared<V: Label>(
+        &mut self,
+        instance: &PreparedInstance<V>,
+        constraint: AgreementConstraint,
+    ) -> Option<BTreeMap<V, u64>> {
         self.stats = SolverStats::default();
-        // The canonical pool assigns ids 0..n in ascending label order, so
-        // the vertex index IS the interned id and facet index lists fall
-        // straight out of the id facets — no per-vertex label searches.
-        let (pool, id_complex) = complex.to_interned();
-        let vertices: Vec<V> = pool.labels().to_vec();
-        if vertices.is_empty() {
+        if instance.vertices.is_empty() {
             return Some(BTreeMap::new());
         }
-        let facets: Vec<Vec<usize>> = id_complex
-            .facets()
-            .map(|f| f.ids().map(|i| i as usize).collect())
-            .collect();
-        let mut facets_of: Vec<Vec<usize>> = vec![Vec::new(); vertices.len()];
-        for (fi, f) in facets.iter().enumerate() {
-            for &vi in f {
-                facets_of[vi].push(fi);
-            }
-        }
-        let domains: Vec<BTreeSet<u64>> = vertices.iter().map(allowed).collect();
-        if domains.iter().any(|d| d.is_empty()) {
+        if instance.domains.iter().any(|d| d.is_empty()) {
             return None;
         }
         let mut state = SearchState {
-            domains,
-            assigned: vec![None; vertices.len()],
-            facets,
-            facets_of,
+            domains: instance.domains.clone(),
+            assigned: vec![None; instance.vertices.len()],
+            facets: &instance.facets,
+            facets_of: &instance.facets_of,
             constraint,
             forward_checking: self.config.forward_checking,
         };
         if self.backtrack(&mut state) {
             Some(
-                vertices
-                    .into_iter()
+                instance
+                    .vertices
+                    .iter()
                     .enumerate()
-                    .map(|(i, v)| (v, state.assigned[i].expect("complete assignment")))
+                    .map(|(i, v)| (v.clone(), state.assigned[i].expect("complete assignment")))
                     .collect(),
             )
         } else {
@@ -298,24 +422,82 @@ impl DecisionMapSolver {
         }
     }
 
-    fn backtrack(&mut self, state: &mut SearchState) -> bool {
-        // most-constrained unassigned vertex
-        let next = (0..state.domains.len())
+    /// The most-constrained unassigned vertex (smallest domain, ties to
+    /// the vertex on the most facets), or `None` when all are assigned.
+    fn select(state: &SearchState<'_>) -> Option<usize> {
+        (0..state.domains.len())
             .filter(|&i| state.assigned[i].is_none())
             .min_by_key(|&i| {
                 (
                     state.domains[i].len(),
                     usize::MAX - state.facets_of[i].len(),
                 )
-            });
-        let Some(vi) = next else {
+            })
+    }
+
+    /// Complete backtracking search with an **explicit frame stack**:
+    /// one heap-allocated [`Frame`] per branched vertex, so the search
+    /// depth (up to the vertex count of the complex) is bounded by
+    /// memory, not by the thread stack. The candidate order, pruning,
+    /// and statistics are exactly those of the call-stack recursion it
+    /// replaced (kept as a `#[cfg(test)]` oracle below).
+    fn backtrack(&mut self, state: &mut SearchState<'_>) -> bool {
+        let mut stack: Vec<Frame> = Vec::new();
+        match Self::select(state) {
+            None => return true, // no vertex to branch on
+            Some(vi) => stack.push(Frame::open(vi, state)),
+        }
+        loop {
+            let Some(frame) = stack.last_mut() else {
+                return false; // every branch of the root exhausted
+            };
+            // Control only re-enters a frame that still holds a trail
+            // when its subtree failed: retract the applied assignment
+            // before trying the next candidate.
+            if let Some(trail) = frame.trail.take() {
+                state.undo(&trail);
+                state.assigned[frame.vi] = None;
+                self.stats.backtracks += 1;
+            }
+            let mut descended = false;
+            while frame.next < frame.candidates.len() {
+                let val = frame.candidates[frame.next];
+                frame.next += 1;
+                self.stats.assignments += 1;
+                if let Some(trail) = state.assign(frame.vi, val, &mut self.stats) {
+                    frame.trail = Some(trail);
+                    descended = true;
+                    break;
+                }
+                self.stats.backtracks += 1;
+            }
+            if !descended {
+                stack.pop();
+                continue;
+            }
+            match Self::select(state) {
+                None => return true, // all assigned: the stack holds a witness
+                Some(vi) => stack.push(Frame::open(vi, state)),
+            }
+        }
+    }
+
+    /// The recursive reference implementation the iterative
+    /// [`DecisionMapSolver::backtrack`] replaced. Kept as a test oracle:
+    /// the equivalence proptest asserts identical verdicts *and*
+    /// identical statistics on random instances. Never call this on
+    /// large complexes — its search depth is the vertex count and it
+    /// WILL overflow small thread stacks (that being the point).
+    #[cfg(test)]
+    fn backtrack_recursive(&mut self, state: &mut SearchState<'_>) -> bool {
+        let Some(vi) = Self::select(state) else {
             return true; // all assigned
         };
         let candidates: Vec<u64> = state.domains[vi].iter().copied().collect();
         for val in candidates {
             self.stats.assignments += 1;
             if let Some(trail) = state.assign(vi, val, &mut self.stats) {
-                if self.backtrack(state) {
+                if self.backtrack_recursive(state) {
                     return true;
                 }
                 state.undo(&trail);
@@ -324,6 +506,45 @@ impl DecisionMapSolver {
             self.stats.backtracks += 1;
         }
         false
+    }
+
+    /// [`DecisionMapSolver::solve_with`] running on the recursive
+    /// oracle instead of the iterative search.
+    #[cfg(test)]
+    fn solve_with_recursive<V: Label>(
+        &mut self,
+        complex: &Complex<V>,
+        allowed: impl FnMut(&V) -> BTreeSet<u64>,
+        constraint: AgreementConstraint,
+    ) -> Option<BTreeMap<V, u64>> {
+        let instance = PreparedInstance::new(complex, allowed);
+        self.stats = SolverStats::default();
+        if instance.vertices.is_empty() {
+            return Some(BTreeMap::new());
+        }
+        if instance.domains.iter().any(|d| d.is_empty()) {
+            return None;
+        }
+        let mut state = SearchState {
+            domains: instance.domains.clone(),
+            assigned: vec![None; instance.vertices.len()],
+            facets: &instance.facets,
+            facets_of: &instance.facets_of,
+            constraint,
+            forward_checking: self.config.forward_checking,
+        };
+        if self.backtrack_recursive(&mut state) {
+            Some(
+                instance
+                    .vertices
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v.clone(), state.assigned[i].expect("complete assignment")))
+                    .collect(),
+            )
+        } else {
+            None
+        }
     }
 
     /// Verifies that `map` is a valid k-set agreement decision map.
@@ -636,5 +857,90 @@ mod tests {
         assert!(!DecisionMapSolver::verify(&c, &incomplete, allowed, 2));
         let invalid: BTreeMap<u32, u64> = [(0u32, 9u64), (1u32, 9)].into_iter().collect();
         assert!(!DecisionMapSolver::verify(&c, &invalid, allowed, 1));
+    }
+
+    #[test]
+    fn prepared_instance_reused_across_constraints() {
+        // One PreparedInstance, several constraints: verdicts must match
+        // the one-shot solve_with path exactly (same stats, too — the
+        // search never sees how the instance was built).
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[2, 3, 4]), s(&[4, 5, 0])]);
+        let dom = |v: &u32| -> BTreeSet<u64> {
+            if (*v).is_multiple_of(2) {
+                [0u64, 1].into_iter().collect()
+            } else {
+                [1u64, 2].into_iter().collect()
+            }
+        };
+        let prepared = PreparedInstance::new(&c, dom);
+        assert_eq!(prepared.vertex_count(), 6);
+        assert_eq!(prepared.facet_count(), 3);
+        for k in 1..=3usize {
+            let constraint = AgreementConstraint::AtMostKDistinct(k);
+            let mut shared = DecisionMapSolver::new();
+            let got = shared.solve_prepared(&prepared, constraint);
+            let mut fresh = DecisionMapSolver::new();
+            let want = fresh.solve_with(&c, dom, constraint);
+            assert_eq!(got, want, "k={k}");
+            assert_eq!(shared.stats(), fresh.stats(), "k={k}");
+            if let Some(map) = got {
+                assert!(DecisionMapSolver::verify_with(&c, &map, dom, constraint));
+            }
+        }
+    }
+
+    /// Builds the random instance shared by the oracle proptests: a
+    /// complex from random facets over `nv` vertices, with per-vertex
+    /// domains drawn from the `doms` table.
+    fn arbitrary_instance<'a>(
+        facets: &[Vec<u32>],
+        doms: &'a [Vec<u64>],
+        nv: u32,
+    ) -> (Complex<u32>, impl Fn(&u32) -> BTreeSet<u64> + Copy + 'a) {
+        let c = Complex::from_facets(
+            facets
+                .iter()
+                .map(|f| Simplex::from_iter(f.iter().map(|v| v % nv))),
+        );
+        let allowed = move |v: &u32| -> BTreeSet<u64> {
+            doms[(*v as usize) % doms.len()].iter().copied().collect()
+        };
+        (c, allowed)
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The iterative frame-stack search is observationally identical
+        /// to the recursive oracle it replaced: same verdict, same
+        /// witness, same statistics — and any witness verifies. Checked
+        /// with forward checking both on and off.
+        #[test]
+        fn iterative_matches_recursive_oracle(
+            facets in prop::collection::vec(
+                prop::collection::vec(0u32..12, 1..=4usize), 1..=6usize),
+            doms in prop::collection::vec(
+                prop::collection::vec(0u64..4, 1..=3usize), 1..=4usize),
+            k in 1usize..=3,
+        ) {
+            let nv = 12;
+            let (c, allowed) = arbitrary_instance(&facets, &doms, nv);
+            let constraint = AgreementConstraint::AtMostKDistinct(k);
+            for forward_checking in [true, false] {
+                let config = SolverConfig { forward_checking };
+                let mut iter_solver = DecisionMapSolver::with_config(config);
+                let got = iter_solver.solve_with(&c, allowed, constraint);
+                let mut rec_solver = DecisionMapSolver::with_config(config);
+                let want = rec_solver.solve_with_recursive(&c, allowed, constraint);
+                prop_assert_eq!(&got, &want);
+                prop_assert_eq!(iter_solver.stats(), rec_solver.stats());
+                if let Some(map) = got {
+                    prop_assert!(
+                        DecisionMapSolver::verify_with(&c, &map, allowed, constraint));
+                }
+            }
+        }
     }
 }

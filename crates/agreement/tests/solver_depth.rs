@@ -1,0 +1,56 @@
+//! Stack-depth regression for the decision-map solver.
+//!
+//! The search must not consume call stack proportional to the size of
+//! the protocol complex: an earlier recursive implementation used one
+//! call frame per branched vertex and overflowed default thread stacks
+//! on every n ≥ 4, k = 2, r = 2 sweep grid (EXPERIMENTS.md E15 recorded
+//! those points as infeasible). The iterative frame-stack search bounds
+//! depth by heap, so a deliberately deep instance must complete even on
+//! a tiny 256 KiB stack — CI additionally runs the whole agreement
+//! suite under `RUST_MIN_STACK=262144` (the `solver-depth` job) to
+//! catch any reintroduced recursion.
+
+use std::collections::BTreeSet;
+
+use ps_agreement::{DecisionMapSolver, SolverStats};
+use ps_topology::{Complex, Simplex};
+
+/// Vertices of the path instance. Deep enough that one call frame per
+/// vertex blows a 256 KiB (and comfortably a 2 MiB) stack.
+const N: u32 = 10_000;
+
+/// A path 0–1–2–⋯–(N-1): N-1 edge facets.
+fn long_path() -> Complex<u32> {
+    Complex::from_facets((0..N - 1).map(|i| Simplex::from_iter([i, i + 1])))
+}
+
+fn domain(_: &u32) -> BTreeSet<u64> {
+    [0u64, 1].into_iter().collect()
+}
+
+/// 2-set agreement on the path with two-value domains: with only two
+/// values, no edge ever saturates the k = 2 budget, so forward checking
+/// never forces an assignment and the search branches at every single
+/// vertex — search depth == vertex count. This is exactly the shape
+/// that overflowed the recursive solver.
+#[test]
+fn deep_path_solves_on_a_tiny_stack() {
+    let stats: SolverStats = std::thread::Builder::new()
+        .stack_size(256 * 1024)
+        .spawn(|| {
+            let c = long_path();
+            let mut solver = DecisionMapSolver::new();
+            let map = solver.solve(&c, domain, 2).expect("trivially solvable");
+            assert_eq!(map.len(), N as usize);
+            assert!(DecisionMapSolver::verify(&c, &map, domain, 2));
+            solver.stats()
+        })
+        .expect("spawn small-stack thread")
+        .join()
+        .expect("solver must not overflow a 256 KiB stack");
+    // nothing was forced: the solver really did branch N levels deep
+    assert!(
+        stats.assignments >= N as usize,
+        "expected one branch per vertex, got {stats:?}"
+    );
+}

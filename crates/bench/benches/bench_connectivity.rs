@@ -115,11 +115,38 @@ fn bench_sweep_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Amortized vs. per-point sweep on the same grid: the shared path
+/// builds/interns/indexes each (n, f, r) group's complex once and
+/// solves every k against one prepared instance, so the gap between
+/// the two groups is the re-preparation cost the amortization removes.
+fn bench_sweep_shared(c: &mut Criterion) {
+    use ps_agreement::{solvability_sweep, solvability_sweep_shared, SweepPoint};
+    let mut group = c.benchmark_group("solvability_sweep_shared");
+    group.sample_size(10);
+    let points: Vec<SweepPoint> = (1..=3usize)
+        .map(|k| SweepPoint::Sync {
+            k,
+            f: 1,
+            n_plus_1: 4,
+            k_per_round: 1,
+            rounds: 1,
+        })
+        .collect();
+    group.bench_function("sync_n4_ksweep3_per_point", |b| {
+        b.iter(|| black_box(solvability_sweep(&points, 1)))
+    });
+    group.bench_function("sync_n4_ksweep3_shared", |b| {
+        b.iter(|| black_box(solvability_sweep_shared(&points, 1)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_prover_vs_homology,
     bench_analyzer,
     bench_parallel_homology,
-    bench_sweep_batch
+    bench_sweep_batch,
+    bench_sweep_shared
 );
 criterion_main!(benches);

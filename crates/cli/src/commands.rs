@@ -4,8 +4,8 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use ps_agreement::{
-    async_solvable, semisync_solvable, solvability_sweep_auto, stretch_experiment, sync_solvable,
-    FloodSet, SweepPoint,
+    async_solvable, semisync_solvable, solvability_sweep_auto, solvability_sweep_shared_auto,
+    stretch_experiment, sync_solvable, FloodSet, SweepPoint,
 };
 use ps_core::{process_simplex, MvProver, ProcessId, Pseudosphere};
 use ps_models::{input_simplex, AsyncModel, IisModel, SemiSyncModel, SyncModel};
@@ -25,7 +25,7 @@ usage:
   psph solve <async|sync|semisync> [--procs N] [--f F] [--k K]
                [--p P] [--rounds R]
   psph sweep <async|sync|semisync> [--procs N] [--f F] [--k K]
-               [--p P] [--rounds R]
+               [--p P] [--rounds R] [--independent]
   psph simulate [--procs N] [--f F] [--k K] [--seeds S]
   psph stretch [--procs N] [--k K] [--c1 T] [--c2 T] [--d T]
   psph chain [--procs N]
@@ -273,8 +273,11 @@ fn solve(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// Batched solvability sweep: every `(k, r)` grid point up to the given
-/// bounds runs as an independent job on the worker pool.
+/// Batched solvability sweep over every `(k, r)` grid point up to the
+/// given bounds. By default points differing only in `k` share one
+/// interned protocol complex and facet index
+/// ([`ps_agreement::solvability_sweep_shared_auto`]); `--independent`
+/// restores the per-point canonical-domain path.
 fn sweep(args: &Args) -> Result<(), ArgError> {
     let model = first_positional(args, "model (async|sync|semisync)")?;
     let n = args.usize_opt("procs", 3)?;
@@ -313,13 +316,26 @@ fn sweep(args: &Args) -> Result<(), ArgError> {
         }
     }
     let threads = ps_topology::parallel::configured_threads();
+    let independent = args.flag("independent");
     println!(
         "{model} sweep: {n} processes, f = {f}, k = 1..={}, r = 1..={} ({} points, {threads} threads)",
         k_max.max(1),
         r_max.max(1),
         points.len()
     );
-    let results = solvability_sweep_auto(&points);
+    let results = if independent {
+        // legacy per-point path: each point rebuilds its own canonical
+        // ({0..k}) protocol complex
+        solvability_sweep_auto(&points)
+    } else {
+        // amortized path: points differing only in k share one interned
+        // complex + facet index, solved on the group domain {0..k_max}
+        println!(
+            "  (amortized: points sharing (model, n, f, r) reuse one complex over the \
+             value domain {{0..k_max}}; pass --independent for per-point canonical domains)"
+        );
+        solvability_sweep_shared_auto(&points)
+    };
     println!(
         "  {:>3} {:>3} {:>10} {:>8}  outcome",
         "k", "r", "vertices", "facets"

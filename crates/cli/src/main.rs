@@ -8,7 +8,7 @@
 //! psph solve <async|sync|semisync> [--procs N] [--f F] [--k K]
 //!              [--p P] [--rounds R]
 //! psph sweep <async|sync|semisync> [--procs N] [--f F] [--k K]
-//!              [--p P] [--rounds R]
+//!              [--p P] [--rounds R] [--independent]
 //! psph simulate [--procs N] [--f F] [--k K] [--seeds S]
 //!
 //! All subcommands accept a global `--threads T` (worker threads for

@@ -102,6 +102,60 @@ fn chain_prints_links() {
 }
 
 #[test]
+fn sweep_prints_full_grid() {
+    // amortized (default) path: one shared complex per (n, f, r) group
+    let (stdout, _, ok) = psph(&[
+        "sweep",
+        "sync",
+        "--procs",
+        "3",
+        "--f",
+        "1",
+        "--k",
+        "2",
+        "--rounds",
+        "2",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("amortized"), "{stdout}");
+    // one row per (k, r) grid point, with classical verdicts: sync
+    // consensus with f = 1 needs 2 rounds; 2-set agreement needs 1
+    let rows: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.contains("solvable") || l.contains("NO decision map"))
+        .collect();
+    assert_eq!(rows.len(), 4, "{stdout}");
+    assert!(rows[0].contains("NO decision map"), "{stdout}"); // k=1 r=1
+    assert!(rows[1].contains("solvable"), "{stdout}"); // k=1 r=2
+    assert!(rows[2].contains("solvable"), "{stdout}"); // k=2 r=1
+}
+
+#[test]
+fn sweep_independent_flag_matches_shared_verdicts() {
+    let grid = [
+        "sweep", "async", "--procs", "3", "--f", "1", "--k", "2", "--rounds", "1",
+    ];
+    let (shared, _, ok) = psph(&grid);
+    assert!(ok);
+    let mut with_flag = grid.to_vec();
+    with_flag.push("--independent");
+    let (independent, _, ok2) = psph(&with_flag);
+    assert!(ok2);
+    assert!(!independent.contains("amortized"), "{independent}");
+    let verdicts = |out: &str| -> Vec<bool> {
+        out.lines()
+            .filter(|l| l.contains("solvable") || l.contains("NO decision map"))
+            .map(|l| !l.contains("NO decision map"))
+            .collect()
+    };
+    assert_eq!(verdicts(&shared), verdicts(&independent));
+    // Corollary 13 at a glance: k=1 ≤ f unsolvable, k=2 > f solvable
+    assert_eq!(verdicts(&shared), vec![false, true]);
+}
+
+#[test]
 fn errors_are_reported() {
     let (_, stderr, ok) = psph(&["frobnicate"]);
     assert!(!ok);

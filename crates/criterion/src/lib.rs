@@ -10,7 +10,8 @@
 //!
 //! Measurement model: each benchmark is calibrated with a single timed
 //! iteration, then run for `sample_size` samples of a batch sized to
-//! take roughly [`TARGET_SAMPLE_TIME`]; mean and min/max per-iteration
+//! take roughly `TARGET_SAMPLE_TIME` (20 ms); mean and min/max
+//! per-iteration
 //! times are printed. There are no statistical comparisons against
 //! saved baselines — output is for eyeballing relative magnitudes.
 

@@ -113,6 +113,19 @@ impl AsyncModel {
         self.round_complex(&input_views(input), rounds)
     }
 
+    /// Accumulates `A^r(input)` into a caller-supplied interned builder,
+    /// so the execution trees of many input faces share one vertex pool
+    /// and one facet anti-chain (see the task-complex builders in
+    /// `ps-agreement`).
+    pub fn protocol_complex_into<I: Label>(
+        &self,
+        input: &InputSimplex<I>,
+        rounds: usize,
+        out: &mut InternedBuilder<View<I>>,
+    ) {
+        self.round_into(&input_views(input), rounds, out);
+    }
+
     /// Internal recursion on simplexes whose vertices are already views.
     fn round_complex<I: Label>(&self, state: &Simplex<View<I>>, rounds: usize) -> Complex<View<I>> {
         // Accumulate the whole recursion into one interned builder:

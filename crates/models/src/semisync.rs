@@ -263,6 +263,19 @@ impl SemiSyncModel {
         self.rec(&ss_input_views(input), self.f_total, rounds)
     }
 
+    /// Accumulates `M^r(input)` into a caller-supplied interned builder,
+    /// so the execution trees of many input faces share one vertex pool
+    /// and one facet anti-chain (see the task-complex builders in
+    /// `ps-agreement`).
+    pub fn protocol_complex_into<I: Label>(
+        &self,
+        input: &InputSimplex<I>,
+        rounds: usize,
+        out: &mut InternedBuilder<SsView<I>>,
+    ) {
+        self.rec_into(&ss_input_views(input), self.f_total, rounds, out);
+    }
+
     fn rec<I: Label>(
         &self,
         state: &Simplex<SsView<I>>,

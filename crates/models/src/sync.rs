@@ -154,8 +154,22 @@ impl SyncModel {
         // builder: every view is interned once at creation and facet
         // absorption across branches runs on ids.
         let mut out = InternedBuilder::new();
-        self.rec_into(&input_views(input), self.f_total, rounds, &mut out);
+        self.protocol_complex_into(input, rounds, &mut out);
         out.finish()
+    }
+
+    /// Accumulates `S^r(input)` into a caller-supplied interned builder,
+    /// so the execution trees of many input faces share one vertex pool
+    /// and one facet anti-chain (the task-complex builders in
+    /// `ps-agreement` union dozens of faces this way without ever
+    /// materializing a per-face label complex).
+    pub fn protocol_complex_into<I: Label>(
+        &self,
+        input: &InputSimplex<I>,
+        rounds: usize,
+        out: &mut InternedBuilder<View<I>>,
+    ) {
+        self.rec_into(&input_views(input), self.f_total, rounds, out);
     }
 
     fn rec_into<I: Label>(

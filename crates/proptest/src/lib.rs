@@ -153,7 +153,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -74,30 +74,29 @@ where
     if threads == 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    // Workers get the main thread's usual 8 MiB stack instead of the
-    // 2 MiB spawn default: jobs run the same deep recursions (solver
-    // backtracking, execution-tree construction) the serial path runs
-    // on the main stack, and must not overflow earlier than it would.
-    const WORKER_STACK: usize = 8 << 20;
+    // Workers use the default spawn stack (RUST_MIN_STACK-controlled).
+    // An earlier revision forced 8 MiB stacks because the decision-map
+    // solver recursed one call frame per protocol-complex vertex; the
+    // solver's search is iterative now (explicit heap frames, see
+    // `ps-agreement::solver`), so no pipeline job needs more stack than
+    // the serial path — and CI runs the suite under a 256 KiB
+    // `RUST_MIN_STACK` to keep it that way.
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                std::thread::Builder::new()
-                    .stack_size(WORKER_STACK)
-                    .spawn_scoped(s, || {
-                        let mut local: Vec<(usize, O)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= items.len() {
-                                break;
-                            }
-                            local.push((i, f(i, &items[i])));
+                s.spawn(|| {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
                         }
-                        local
-                    })
-                    .expect("failed to spawn parallel_map worker")
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
             })
             .collect();
         for h in handles {

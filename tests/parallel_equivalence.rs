@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use pseudosphere::agreement::{solvability_sweep, SweepPoint};
+use pseudosphere::agreement::{solvability_sweep, solvability_sweep_shared, SweepPoint};
 use pseudosphere::core::ProcessId;
 use pseudosphere::models::{input_simplex, FailurePattern, SemiSyncModel, SyncModel};
 use pseudosphere::topology::{parallel, ConnectivityAnalyzer, Homology};
@@ -89,6 +89,47 @@ fn solver_sweep_is_thread_invariant() {
     let serial = solvability_sweep(&points, 1);
     for t in THREADS {
         assert_eq!(solvability_sweep(&points, t), serial, "threads={t}");
+    }
+}
+
+/// The amortized sweep (one shared interned complex per `(model, n, f,
+/// r)` group, every `k` solved against one prepared instance) must be
+/// just as thread-invariant as the per-point sweep, and must reach the
+/// same verdicts.
+#[test]
+fn shared_solver_sweep_is_thread_invariant() {
+    let mut points = Vec::new();
+    for k in 1..=2usize {
+        points.push(SweepPoint::Async {
+            k,
+            f: 1,
+            n_plus_1: 3,
+            rounds: 1,
+        });
+        points.push(SweepPoint::Sync {
+            k,
+            f: 1,
+            n_plus_1: 3,
+            k_per_round: 1,
+            rounds: 2,
+        });
+    }
+    points.push(SweepPoint::SemiSync {
+        k: 1,
+        f: 1,
+        n_plus_1: 2,
+        k_per_round: 1,
+        microrounds: 2,
+        rounds: 1,
+    });
+    let serial = solvability_sweep_shared(&points, 1);
+    for t in THREADS {
+        assert_eq!(solvability_sweep_shared(&points, t), serial, "threads={t}");
+    }
+    // verdicts coincide with the per-point canonical path
+    let canonical = solvability_sweep(&points, 1);
+    for (i, (s, c)) in serial.iter().zip(&canonical).enumerate() {
+        assert_eq!(s.solvable, c.solvable, "point {i}: {:?}", points[i]);
     }
 }
 
