@@ -18,11 +18,38 @@ use ps_models::{AsyncModel, InputSimplex, SemiSyncModel, SsView, SyncModel, View
 use ps_topology::{Complex, IdComplex, InternedBuilder, Label, Simplex, VertexPool};
 
 use crate::solver::{AgreementConstraint, DecisionMapSolver, PreparedInstance};
+use crate::symmetry::{instance_fingerprint, instance_key, task_symmetries, InstanceKey};
 use crate::task::KSetAgreement;
+
+/// Knobs for the sweep drivers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Exploit task symmetries (on by default): attach certified
+    /// process/value relabelings to each prepared instance so the
+    /// solver can orbit-branch, and collapse canonically-isomorphic
+    /// instance groups in [`solvability_sweep_shared_opts`] so each
+    /// isomorphism class is solved once.
+    pub symmetry: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { symmetry: true }
+    }
+}
 
 /// All input faces of the task's input complex `ψ(Pⁿ; V)` with at least
 /// `min_participants` participants: every subset of processes of
 /// sufficient size, with every assignment of values to it.
+///
+/// Faces are returned **largest first**. The task-complex builders rely
+/// on this: feeding all full-participation faces before any smaller one
+/// keeps the shared facet anti-chain size-uniform for the bulk of the
+/// insertions, which lets [`IdComplex::add_simplex`] skip its
+/// absorption scans (the lower-participation executions are faces of
+/// full-participation ones and are absorbed on arrival).
+///
+/// [`IdComplex::add_simplex`]: ps_topology::IdComplex::add_simplex
 pub fn input_faces(
     n_plus_1: usize,
     values: &BTreeSet<u64>,
@@ -62,6 +89,7 @@ pub fn input_faces(
             }
         }
     }
+    out.sort_by_key(|s| std::cmp::Reverse(s.len()));
     out
 }
 
@@ -213,12 +241,54 @@ pub fn solvability<V: Label>(
     }
 }
 
+/// Attaches the task's certified process/value symmetries (closed from
+/// process and value transpositions, certified as automorphisms by
+/// [`task_symmetries`]) to an instance built from `(pool, complex)`.
+/// Returns how many the instance kept for orbit branching.
+fn attach_task_symmetries<V: crate::symmetry::SymmetricView>(
+    inst: &mut PreparedInstance<V>,
+    pool: &VertexPool<V>,
+    complex: &IdComplex,
+    n_plus_1: usize,
+    values: &BTreeSet<u64>,
+) -> usize {
+    let proc_gens = ps_models::process_transpositions(n_plus_1);
+    inst.attach_symmetries(task_symmetries(pool, complex, n_plus_1, &proc_gens, values))
+}
+
+/// One solver run against a prepared instance.
+fn solve_one<V: Label>(instance: &PreparedInstance<V>, k: usize) -> SolvabilityResult {
+    let mut solver = DecisionMapSolver::new();
+    let map = solver.solve_prepared(instance, AgreementConstraint::AtMostKDistinct(k));
+    SolvabilityResult {
+        solvable: map.is_some(),
+        vertices: instance.vertex_count(),
+        facets: instance.facet_count(),
+    }
+}
+
 /// Corollary 13 experiment: is r-round asynchronous k-set agreement
 /// solvable (as a decision map) for this instance?
 pub fn async_solvable(k: usize, f: usize, n_plus_1: usize, rounds: usize) -> SolvabilityResult {
+    async_solvable_opts(k, f, n_plus_1, rounds, true)
+}
+
+/// [`async_solvable`] with explicit control over symmetry exploitation
+/// (orbit branching in the solver).
+pub fn async_solvable_opts(
+    k: usize,
+    f: usize,
+    n_plus_1: usize,
+    rounds: usize,
+    symmetry: bool,
+) -> SolvabilityResult {
     let task = KSetAgreement::canonical(k);
-    let complex = async_task_complex(&task, n_plus_1, f, rounds);
-    solvability(&complex, &task, allowed_values)
+    let (pool, complex) = async_task_parts(&task.values, n_plus_1, f, rounds);
+    let mut inst = PreparedInstance::from_interned(&pool, &complex, allowed_values);
+    if symmetry {
+        attach_task_symmetries(&mut inst, &pool, &complex, n_plus_1, &task.values);
+    }
+    solve_one(&inst, k)
 }
 
 /// Theorem 18 experiment: one row of the round sweep — is r-round
@@ -230,9 +300,25 @@ pub fn sync_solvable(
     k_per_round: usize,
     rounds: usize,
 ) -> SolvabilityResult {
+    sync_solvable_opts(k, f, n_plus_1, k_per_round, rounds, true)
+}
+
+/// [`sync_solvable`] with explicit control over symmetry exploitation.
+pub fn sync_solvable_opts(
+    k: usize,
+    f: usize,
+    n_plus_1: usize,
+    k_per_round: usize,
+    rounds: usize,
+    symmetry: bool,
+) -> SolvabilityResult {
     let task = KSetAgreement::canonical(k);
-    let complex = sync_task_complex(&task, n_plus_1, k_per_round, f, rounds);
-    solvability(&complex, &task, allowed_values)
+    let (pool, complex) = sync_task_parts(&task.values, n_plus_1, k_per_round, f, rounds);
+    let mut inst = PreparedInstance::from_interned(&pool, &complex, allowed_values);
+    if symmetry {
+        attach_task_symmetries(&mut inst, &pool, &complex, n_plus_1, &task.values);
+    }
+    solve_one(&inst, k)
 }
 
 /// Lemma 21 / Corollary 22 side experiment: is r-round semi-synchronous
@@ -245,9 +331,28 @@ pub fn semisync_solvable(
     microrounds: u32,
     rounds: usize,
 ) -> SolvabilityResult {
+    semisync_solvable_opts(k, f, n_plus_1, k_per_round, microrounds, rounds, true)
+}
+
+/// [`semisync_solvable`] with explicit control over symmetry
+/// exploitation.
+pub fn semisync_solvable_opts(
+    k: usize,
+    f: usize,
+    n_plus_1: usize,
+    k_per_round: usize,
+    microrounds: u32,
+    rounds: usize,
+    symmetry: bool,
+) -> SolvabilityResult {
     let task = KSetAgreement::canonical(k);
-    let complex = semisync_task_complex(&task, n_plus_1, k_per_round, f, microrounds, rounds);
-    solvability(&complex, &task, allowed_values_ss)
+    let (pool, complex) =
+        semisync_task_parts(&task.values, n_plus_1, k_per_round, f, microrounds, rounds);
+    let mut inst = PreparedInstance::from_interned(&pool, &complex, allowed_values_ss);
+    if symmetry {
+        attach_task_symmetries(&mut inst, &pool, &complex, n_plus_1, &task.values);
+    }
+    solve_one(&inst, k)
 }
 
 /// One `(model, n, r, k, f)` grid point of a solvability sweep.
@@ -393,20 +498,26 @@ impl SweepPoint {
 
     /// Runs this grid point's solver (serially, in the calling thread).
     pub fn run(&self) -> SolvabilityResult {
+        self.run_opts(true)
+    }
+
+    /// [`SweepPoint::run`] with explicit control over symmetry
+    /// exploitation (orbit branching).
+    pub fn run_opts(&self, symmetry: bool) -> SolvabilityResult {
         match *self {
             SweepPoint::Async {
                 k,
                 f,
                 n_plus_1,
                 rounds,
-            } => async_solvable(k, f, n_plus_1, rounds),
+            } => async_solvable_opts(k, f, n_plus_1, rounds, symmetry),
             SweepPoint::Sync {
                 k,
                 f,
                 n_plus_1,
                 k_per_round,
                 rounds,
-            } => sync_solvable(k, f, n_plus_1, k_per_round, rounds),
+            } => sync_solvable_opts(k, f, n_plus_1, k_per_round, rounds, symmetry),
             SweepPoint::SemiSync {
                 k,
                 f,
@@ -414,7 +525,7 @@ impl SweepPoint {
                 k_per_round,
                 microrounds,
                 rounds,
-            } => semisync_solvable(k, f, n_plus_1, k_per_round, microrounds, rounds),
+            } => semisync_solvable_opts(k, f, n_plus_1, k_per_round, microrounds, rounds, symmetry),
         }
     }
 }
@@ -424,7 +535,18 @@ impl SweepPoint {
 /// in input order regardless of scheduling, so the output is identical
 /// to running each point serially.
 pub fn solvability_sweep(points: &[SweepPoint], threads: usize) -> Vec<SolvabilityResult> {
-    ps_topology::parallel::parallel_map(points, threads, |_, p| p.run())
+    solvability_sweep_opts(points, threads, SweepOptions::default())
+}
+
+/// [`solvability_sweep`] with explicit [`SweepOptions`] (per-point
+/// symmetry exploitation only — the independent path never shares
+/// complexes, so there is nothing to deduplicate).
+pub fn solvability_sweep_opts(
+    points: &[SweepPoint],
+    threads: usize,
+    opts: SweepOptions,
+) -> Vec<SolvabilityResult> {
+    ps_topology::parallel::parallel_map(points, threads, |_, p| p.run_opts(opts.symmetry))
 }
 
 /// [`solvability_sweep`] with the globally configured thread count
@@ -453,60 +575,178 @@ pub fn solvability_sweep_auto(points: &[SweepPoint]) -> Vec<SolvabilityResult> {
 /// reported `vertices`/`facets` describe the complex actually searched,
 /// which for `k < k_max` is larger than the canonical one.
 pub fn solvability_sweep_shared(points: &[SweepPoint], threads: usize) -> Vec<SolvabilityResult> {
+    solvability_sweep_shared_opts(points, threads, SweepOptions::default())
+}
+
+/// A prepared shared-key group: the two view label types a [`SweepKey`]
+/// can produce, behind one enum so heterogeneous groups travel through
+/// the sweep's phases together.
+enum PreparedGroup {
+    /// Synchronous / asynchronous instances (plain views).
+    Viewed(PreparedInstance<View<u64>>),
+    /// Semi-synchronous instances (microround-annotated views).
+    SsViewed(PreparedInstance<SsView<u64>>),
+}
+
+impl PreparedGroup {
+    fn key(&self) -> Option<InstanceKey> {
+        match self {
+            PreparedGroup::Viewed(inst) => instance_key(inst),
+            PreparedGroup::SsViewed(inst) => instance_key(inst),
+        }
+    }
+
+    fn solve_ks(&self, ks: &[usize]) -> Vec<(usize, SolvabilityResult)> {
+        match self {
+            PreparedGroup::Viewed(inst) => ks.iter().map(|&k| (k, solve_one(inst, k))).collect(),
+            PreparedGroup::SsViewed(inst) => ks.iter().map(|&k| (k, solve_one(inst, k))).collect(),
+        }
+    }
+}
+
+/// Builds one shared-key group's prepared instance over the value
+/// domain `values`, attaching certified task symmetries when `symmetry`.
+fn build_group(key: &SweepKey, values: &BTreeSet<u64>, symmetry: bool) -> PreparedGroup {
+    match *key {
+        SweepKey::Async {
+            f,
+            n_plus_1,
+            rounds,
+        } => {
+            let (pool, complex) = async_task_parts(values, n_plus_1, f, rounds);
+            let mut inst = PreparedInstance::from_interned(&pool, &complex, allowed_values);
+            if symmetry {
+                attach_task_symmetries(&mut inst, &pool, &complex, n_plus_1, values);
+            }
+            PreparedGroup::Viewed(inst)
+        }
+        SweepKey::Sync {
+            f,
+            n_plus_1,
+            k_per_round,
+            rounds,
+        } => {
+            let (pool, complex) = sync_task_parts(values, n_plus_1, k_per_round, f, rounds);
+            let mut inst = PreparedInstance::from_interned(&pool, &complex, allowed_values);
+            if symmetry {
+                attach_task_symmetries(&mut inst, &pool, &complex, n_plus_1, values);
+            }
+            PreparedGroup::Viewed(inst)
+        }
+        SweepKey::SemiSync {
+            f,
+            n_plus_1,
+            k_per_round,
+            microrounds,
+            rounds,
+        } => {
+            let (pool, complex) =
+                semisync_task_parts(values, n_plus_1, k_per_round, f, microrounds, rounds);
+            let mut inst = PreparedInstance::from_interned(&pool, &complex, allowed_values_ss);
+            if symmetry {
+                attach_task_symmetries(&mut inst, &pool, &complex, n_plus_1, values);
+            }
+            PreparedGroup::SsViewed(inst)
+        }
+    }
+}
+
+/// [`solvability_sweep_shared`] with explicit [`SweepOptions`].
+///
+/// With `symmetry` on, an extra deduplication layer runs between
+/// building and solving: groups whose prepared instances have colliding
+/// cheap fingerprints (vertex count, facet-size multiset, domain
+/// multiset) are canonicalized ([`crate::symmetry::instance_key`]), and
+/// groups with **equal exact canonical keys** — isomorphic colored
+/// complexes, e.g. distinct `k_per_round` values that both exceed the
+/// remaining crash budget — form one class solved once per `k`; the
+/// cached verdicts are replayed to every member. Canonicalization is
+/// only attempted on fingerprint collisions, and inexact (budget-cut)
+/// keys never merge classes, so the dedupe is pure amortization: the
+/// output is identical to solving every group, and identical across
+/// thread counts.
+pub fn solvability_sweep_shared_opts(
+    points: &[SweepPoint],
+    threads: usize,
+    opts: SweepOptions,
+) -> Vec<SolvabilityResult> {
     let mut groups: BTreeMap<SweepKey, Vec<usize>> = BTreeMap::new();
     for (i, p) in points.iter().enumerate() {
         groups.entry(p.shared_key()).or_default().push(i);
     }
     let jobs: Vec<(SweepKey, Vec<usize>)> = groups.into_iter().collect();
-    let per_group: Vec<Vec<SolvabilityResult>> =
-        ps_topology::parallel::parallel_map(&jobs, threads, |_, (key, idxs)| {
+
+    // Phase A1 (parallel): build each group's instance (+ symmetries)
+    // and a cheap isomorphism-invariant fingerprint.
+    let job_ids: Vec<usize> = (0..jobs.len()).collect();
+    let built: Vec<PreparedGroup> =
+        ps_topology::parallel::parallel_map(&job_ids, threads, |_, &j| {
+            let (key, idxs) = &jobs[j];
             let k_max = idxs
                 .iter()
                 .map(|&i| points[i].k())
                 .max()
                 .expect("group is nonempty");
             let values: BTreeSet<u64> = (0..=k_max as u64).collect();
-            let ks = idxs.iter().map(|&i| points[i].k());
-            match *key {
-                SweepKey::Async {
-                    f,
-                    n_plus_1,
-                    rounds,
-                } => {
-                    let (pool, complex) = async_task_parts(&values, n_plus_1, f, rounds);
-                    let inst = PreparedInstance::from_interned(&pool, &complex, allowed_values);
-                    solve_group(&inst, ks)
-                }
-                SweepKey::Sync {
-                    f,
-                    n_plus_1,
-                    k_per_round,
-                    rounds,
-                } => {
-                    let (pool, complex) =
-                        sync_task_parts(&values, n_plus_1, k_per_round, f, rounds);
-                    let inst = PreparedInstance::from_interned(&pool, &complex, allowed_values);
-                    solve_group(&inst, ks)
-                }
-                SweepKey::SemiSync {
-                    f,
-                    n_plus_1,
-                    k_per_round,
-                    microrounds,
-                    rounds,
-                } => {
-                    let (pool, complex) =
-                        semisync_task_parts(&values, n_plus_1, k_per_round, f, microrounds, rounds);
-                    let inst = PreparedInstance::from_interned(&pool, &complex, allowed_values_ss);
-                    solve_group(&inst, ks)
-                }
-            }
+            build_group(key, &values, opts.symmetry)
         });
-    // scatter group results back to input positions
+
+    // Serial: find fingerprint collisions; Phase A2 (parallel):
+    // canonicalize only the colliding groups; serial: merge groups with
+    // equal exact keys into classes, `rep_of[j]` = solving representative.
+    let mut rep_of: Vec<usize> = (0..jobs.len()).collect();
+    if opts.symmetry && jobs.len() > 1 {
+        let mut by_fp: BTreeMap<_, Vec<usize>> = BTreeMap::new();
+        for (j, g) in built.iter().enumerate() {
+            let fp = match g {
+                PreparedGroup::Viewed(inst) => instance_fingerprint(inst),
+                PreparedGroup::SsViewed(inst) => instance_fingerprint(inst),
+            };
+            by_fp.entry(fp).or_default().push(j);
+        }
+        let colliding: Vec<usize> = by_fp
+            .into_values()
+            .filter(|js| js.len() > 1)
+            .flatten()
+            .collect();
+        let keys: Vec<Option<InstanceKey>> =
+            ps_topology::parallel::parallel_map(&colliding, threads, |_, &j| built[j].key());
+        let mut by_key: BTreeMap<InstanceKey, usize> = BTreeMap::new();
+        for (&j, key) in colliding.iter().zip(keys) {
+            let Some(key) = key else { continue };
+            rep_of[j] = *by_key.entry(key).or_insert(j);
+        }
+    }
+
+    // Phase B (parallel): each class representative solves the union of
+    // its members' agreement parameters once.
+    let mut class_ks: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (j, (_, idxs)) in jobs.iter().enumerate() {
+        let ks = class_ks.entry(rep_of[j]).or_default();
+        ks.extend(idxs.iter().map(|&i| points[i].k()));
+    }
+    let solve_jobs: Vec<(usize, Vec<usize>)> = class_ks
+        .into_iter()
+        .map(|(rep, ks)| (rep, ks.into_iter().collect()))
+        .collect();
+    let solved: Vec<Vec<(usize, SolvabilityResult)>> =
+        ps_topology::parallel::parallel_map(&solve_jobs, threads, |_, (rep, ks)| {
+            built[*rep].solve_ks(ks)
+        });
+
+    // Scatter: replay each class's verdicts to every member point.
+    // Class members are isomorphic instances, so the vertex/facet
+    // counts replayed with the verdict are the members' own.
+    let mut verdicts: BTreeMap<(usize, usize), SolvabilityResult> = BTreeMap::new();
+    for ((rep, _), results) in solve_jobs.iter().zip(solved) {
+        for (k, r) in results {
+            verdicts.insert((*rep, k), r);
+        }
+    }
     let mut out: Vec<Option<SolvabilityResult>> = vec![None; points.len()];
-    for ((_, idxs), results) in jobs.iter().zip(per_group) {
-        for (&i, r) in idxs.iter().zip(results) {
-            out[i] = Some(r);
+    for (j, (_, idxs)) in jobs.iter().enumerate() {
+        for &i in idxs {
+            out[i] = Some(verdicts[&(rep_of[j], points[i].k())].clone());
         }
     }
     out.into_iter()
@@ -518,24 +758,6 @@ pub fn solvability_sweep_shared(points: &[SweepPoint], threads: usize) -> Vec<So
 /// count ([`ps_topology::parallel::configured_threads`]).
 pub fn solvability_sweep_shared_auto(points: &[SweepPoint]) -> Vec<SolvabilityResult> {
     solvability_sweep_shared(points, ps_topology::parallel::configured_threads())
-}
-
-/// Solves one shared-complex group: every `k` against the same prepared
-/// instance.
-fn solve_group<V: Label>(
-    instance: &PreparedInstance<V>,
-    ks: impl Iterator<Item = usize>,
-) -> Vec<SolvabilityResult> {
-    ks.map(|k| {
-        let mut solver = DecisionMapSolver::new();
-        let map = solver.solve_prepared(instance, AgreementConstraint::AtMostKDistinct(k));
-        SolvabilityResult {
-            solvable: map.is_some(),
-            vertices: instance.vertex_count(),
-            facets: instance.facet_count(),
-        }
-    })
-    .collect()
 }
 
 /// Approximate-agreement experiment: is there a decision map on the
@@ -729,6 +951,63 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn shared_sweep_collapses_isomorphic_groups() {
+        // sync n=3, r=1, f=2: k_per_round = 2 and 3 both cap at the
+        // remaining crash budget, so the two shared keys build
+        // isomorphic complexes; with symmetry on they form one
+        // canonical class solved once, and either way the verdicts
+        // must match the per-point path.
+        let mut points = Vec::new();
+        for k_per_round in [2usize, 3] {
+            for k in 1..=2usize {
+                points.push(SweepPoint::Sync {
+                    k,
+                    f: 2,
+                    n_plus_1: 3,
+                    k_per_round,
+                    rounds: 1,
+                });
+            }
+        }
+        let serial: Vec<_> = points.iter().map(SweepPoint::run).collect();
+        for symmetry in [true, false] {
+            let opts = SweepOptions { symmetry };
+            for threads in [1, 3] {
+                let shared = solvability_sweep_shared_opts(&points, threads, opts);
+                for (i, (s, c)) in shared.iter().zip(&serial).enumerate() {
+                    assert_eq!(
+                        s.solvable, c.solvable,
+                        "point {i}, {opts:?}, {threads} threads"
+                    );
+                }
+            }
+        }
+        // the replayed results of the collapsed group are identical to
+        // the representative's, vertex/facet counts included
+        let shared = solvability_sweep_shared_opts(&points, 1, SweepOptions::default());
+        assert_eq!(shared[0], shared[2]);
+        assert_eq!(shared[1], shared[3]);
+    }
+
+    #[test]
+    fn solvable_opts_symmetry_off_matches_default() {
+        // orbit branching must never change a verdict
+        for (k, f) in [(1usize, 1usize), (2, 1), (2, 2)] {
+            let on = async_solvable(k, f, 3, 1);
+            let off = async_solvable_opts(k, f, 3, 1, false);
+            assert_eq!(on, off, "async k={k} f={f}");
+        }
+        assert_eq!(
+            sync_solvable(1, 1, 3, 1, 2),
+            sync_solvable_opts(1, 1, 3, 1, 2, false)
+        );
+        assert_eq!(
+            semisync_solvable(1, 1, 2, 1, 2, 1),
+            semisync_solvable_opts(1, 1, 2, 1, 2, 1, false)
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   semi-synchronous timing experiment;
 //! * [`WaitForAll`] / [`OwnValue`] — the asynchronous positive side;
 //! * [`experiments`] — task-complex builders and solver sweeps used by
-//!   the benchmark harness and EXPERIMENTS.md.
+//!   the benchmark harness and EXPERIMENTS.md;
+//! * [`symmetry`] — certified instance symmetries (process/value
+//!   relabelings that fix the task), the fuel for the solver's orbit
+//!   branching and the sweeps' canonical-form deduplication.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -41,11 +44,19 @@ pub use timed::{stretch_experiment, StretchOutcome, TimedFloodSet, TimedFloodSet
 mod asynchronous;
 pub use asynchronous::{OwnValue, WaitForAll};
 
+pub mod symmetry;
+pub use symmetry::{
+    instance_fingerprint, instance_key, task_symmetries, InstanceFingerprint, InstanceKey,
+    InstanceSymmetry, SymmetricView,
+};
+
 pub mod experiments;
 pub use experiments::{
     allowed_values, allowed_values_ss, async_approximate_solvable, async_solvable,
-    async_task_complex, async_task_parts, corollary10_async, input_faces, semisync_solvable,
-    semisync_task_complex, semisync_task_parts, solvability, solvability_sweep,
-    solvability_sweep_auto, solvability_sweep_shared, solvability_sweep_shared_auto, sync_solvable,
-    sync_task_complex, sync_task_parts, Corollary10Report, SolvabilityResult, SweepKey, SweepPoint,
+    async_solvable_opts, async_task_complex, async_task_parts, corollary10_async, input_faces,
+    semisync_solvable, semisync_solvable_opts, semisync_task_complex, semisync_task_parts,
+    solvability, solvability_sweep, solvability_sweep_auto, solvability_sweep_opts,
+    solvability_sweep_shared, solvability_sweep_shared_auto, solvability_sweep_shared_opts,
+    sync_solvable, sync_solvable_opts, sync_task_complex, sync_task_parts, Corollary10Report,
+    SolvabilityResult, SweepKey, SweepOptions, SweepPoint,
 };

@@ -33,6 +33,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ps_topology::{Complex, IdComplex, Label, VertexPool};
 
+use crate::symmetry::InstanceSymmetry;
+
 /// Search statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
@@ -42,6 +44,9 @@ pub struct SolverStats {
     pub backtracks: usize,
     /// Domain prunings performed by forward checking.
     pub prunings: usize,
+    /// Candidate values skipped by orbit branching because they were
+    /// symmetric to an already-refuted candidate.
+    pub orbit_skips: usize,
 }
 
 /// The per-simplex agreement condition the decision map must satisfy.
@@ -66,12 +71,18 @@ pub enum AgreementConstraint {
 pub struct SolverConfig {
     /// Prune domains through saturated facets (on by default).
     pub forward_checking: bool,
+    /// Try only one candidate value per orbit of the residual symmetry
+    /// group at each decision vertex (on by default; a no-op unless
+    /// the instance has symmetries attached — see
+    /// [`PreparedInstance::attach_symmetries`]).
+    pub orbit_branching: bool,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
             forward_checking: true,
+            orbit_branching: true,
         }
     }
 }
@@ -94,13 +105,15 @@ pub struct DecisionMapSolver {
 #[derive(Clone, Debug)]
 pub struct PreparedInstance<V> {
     /// Vertex labels, indexed by the dense vertex index.
-    vertices: Vec<V>,
+    pub(crate) vertices: Vec<V>,
     /// Facets as vertex-index lists.
-    facets: Vec<Vec<usize>>,
+    pub(crate) facets: Vec<Vec<usize>>,
     /// Facets containing each vertex.
-    facets_of: Vec<Vec<usize>>,
+    pub(crate) facets_of: Vec<Vec<usize>>,
     /// Validity domain of each vertex.
-    domains: Vec<BTreeSet<u64>>,
+    pub(crate) domains: Vec<BTreeSet<u64>>,
+    /// Certified instance symmetries usable for orbit branching.
+    pub(crate) symmetries: Vec<InstanceSymmetry>,
 }
 
 impl<V: Label> PreparedInstance<V> {
@@ -148,6 +161,7 @@ impl<V: Label> PreparedInstance<V> {
             facets,
             facets_of,
             domains,
+            symmetries: Vec::new(),
         }
     }
 
@@ -160,6 +174,88 @@ impl<V: Label> PreparedInstance<V> {
     pub fn facet_count(&self) -> usize {
         self.facets.len()
     }
+
+    /// Number of symmetries attached for orbit branching.
+    pub fn symmetry_count(&self) -> usize {
+        self.symmetries.len()
+    }
+
+    /// Attaches certified symmetries for orbit branching; returns how
+    /// many were kept.
+    ///
+    /// A symmetry `(σ, π)` is kept only if it can actually justify a
+    /// prune:
+    ///
+    /// * degree matches and every domain value is inside `π`'s table;
+    /// * **domain equivariance** holds — `dom(σ(v)) = π(dom(v))` for
+    ///   every vertex, so transporting a partial decision map along the
+    ///   symmetry preserves validity (automorphy of the complex, which
+    ///   [`crate::symmetry::task_symmetries`] certifies, preserves the
+    ///   agreement constraint);
+    /// * `π` is not the identity (pure vertex relabelings never change
+    ///   which *values* are worth trying at a vertex) and `σ` fixes at
+    ///   least one vertex (orbit branching only applies a symmetry at
+    ///   vertices it fixes).
+    ///
+    /// Symmetries that fail the checks are silently dropped — they are
+    /// an optimization, never a correctness requirement.
+    pub fn attach_symmetries(&mut self, syms: impl IntoIterator<Item = InstanceSymmetry>) -> usize {
+        let before = self.symmetries.len();
+        let n = self.vertices.len();
+        for sym in syms {
+            if sym.vertex.len() != n {
+                continue;
+            }
+            if self
+                .domains
+                .iter()
+                .flatten()
+                .any(|&x| x as usize >= sym.values.len())
+            {
+                continue;
+            }
+            let equivariant = (0..n).all(|v| {
+                let mapped: BTreeSet<u64> = self.domains[v]
+                    .iter()
+                    .map(|&x| sym.values[x as usize])
+                    .collect();
+                self.domains[sym.vertex[v] as usize] == mapped
+            });
+            if !equivariant {
+                continue;
+            }
+            if sym.is_value_identity() {
+                continue;
+            }
+            if !(0..n).any(|v| sym.vertex[v] as usize == v) {
+                continue;
+            }
+            self.symmetries.push(sym);
+        }
+        self.symmetries.len() - before
+    }
+}
+
+/// Incremental bookkeeping for one symmetry generator `(σ, π)`: the
+/// generator *setwise stabilizes* the current partial assignment
+/// exactly when `viol == 0`, i.e. every assigned vertex `w` satisfies
+/// `assigned[σ(w)] == π(assigned[w])`. (`viol == 0` means transporting
+/// the partial map along the generator reproduces it: the transported
+/// map agrees on every assigned vertex, and since `σ` is a bijection
+/// over a finite set, it assigns the same vertex set.) Maintained
+/// exactly — each set/clear touches only `w` and `σ⁻¹(w)` per
+/// generator.
+struct GenTrack {
+    /// Vertex image table `σ`.
+    vertex: Vec<u32>,
+    /// Inverse vertex table `σ⁻¹`.
+    inv: Vec<u32>,
+    /// Value image table `π`.
+    values: Vec<u64>,
+    /// Number of assigned `w` with `assigned[σ(w)] != π(assigned[w])`.
+    viol: usize,
+    /// Per-vertex flag: `w` is assigned and currently violating.
+    vflag: Vec<bool>,
 }
 
 struct SearchState<'a> {
@@ -174,12 +270,64 @@ struct SearchState<'a> {
     facets_of: &'a [Vec<usize>],
     constraint: AgreementConstraint,
     forward_checking: bool,
+    /// Symmetry generators tracked for orbit branching (empty when
+    /// disabled).
+    gens: Vec<GenTrack>,
+    /// For each vertex, the generators whose `σ` fixes it.
+    fixing: Vec<Vec<usize>>,
 }
 
 /// Undo log entry: vertex index, removed values.
 type Trail = Vec<(usize, BTreeSet<u64>)>;
 
 impl SearchState<'_> {
+    /// Records `assigned[w] = Some(val)` and updates every generator's
+    /// violation count. Only entries `w` and `σ⁻¹(w)` of each generator
+    /// can change: `w` starts satisfying or violating
+    /// `assigned[σ(w)] == π(assigned[w])`, and the preimage `u = σ⁻¹(w)`
+    /// (if assigned) may have just had its required image filled in.
+    fn set_assigned(&mut self, w: usize, val: u64) {
+        self.assigned[w] = Some(val);
+        let assigned = &self.assigned;
+        for g in &mut self.gens {
+            let w2 = g.vertex[w] as usize;
+            if assigned[w2] != Some(g.values[val as usize]) {
+                debug_assert!(!g.vflag[w]);
+                g.vflag[w] = true;
+                g.viol += 1;
+            }
+            let u = g.inv[w] as usize;
+            if u != w {
+                if let Some(xu) = assigned[u] {
+                    if val == g.values[xu as usize] && g.vflag[u] {
+                        g.vflag[u] = false;
+                        g.viol -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records `assigned[w] = None`, reversing [`SearchState::set_assigned`]:
+    /// `w` itself can no longer violate, and the assigned preimage
+    /// `u = σ⁻¹(w)` now points at an unassigned image, which counts as a
+    /// violation (the generator no longer reproduces the partial map).
+    fn clear_assigned(&mut self, w: usize) {
+        self.assigned[w] = None;
+        let assigned = &self.assigned;
+        for g in &mut self.gens {
+            if g.vflag[w] {
+                g.vflag[w] = false;
+                g.viol -= 1;
+            }
+            let u = g.inv[w] as usize;
+            if u != w && assigned[u].is_some() && !g.vflag[u] {
+                g.vflag[u] = true;
+                g.viol += 1;
+            }
+        }
+    }
+
     /// Assigns `val` to `vi` and forward-checks; returns the undo trail
     /// or `None` on wipe-out.
     fn assign(&mut self, vi: usize, val: u64, stats: &mut SolverStats) -> Option<Trail> {
@@ -197,7 +345,7 @@ impl SearchState<'_> {
             self.domains[vi] = [val].into_iter().collect();
             trail.push((vi, removed));
         }
-        self.assigned[vi] = Some(val);
+        self.set_assigned(vi, val);
 
         // queue of vertices whose assignment may trigger facet pruning
         let mut queue = vec![vi];
@@ -226,7 +374,7 @@ impl SearchState<'_> {
                 };
                 if violated {
                     self.undo(&trail);
-                    self.assigned[vi] = None;
+                    self.clear_assigned(vi);
                     return None;
                 }
                 if !self.forward_checking {
@@ -279,13 +427,13 @@ impl SearchState<'_> {
                     match self.domains[w].len() {
                         0 => {
                             self.undo(&trail);
-                            self.assigned[vi] = None;
+                            self.clear_assigned(vi);
                             return None;
                         }
                         1 => {
                             // forced: treat as assigned and propagate
                             let forced = *self.domains[w].first().unwrap();
-                            self.assigned[w] = Some(forced);
+                            self.set_assigned(w, forced);
                             trail.push((w, BTreeSet::new())); // marker for unassign
                             queue.push(w);
                         }
@@ -300,7 +448,7 @@ impl SearchState<'_> {
     fn undo(&mut self, trail: &Trail) {
         for (w, removed) in trail.iter().rev() {
             if removed.is_empty() {
-                self.assigned[*w] = None;
+                self.clear_assigned(*w);
             } else {
                 self.domains[*w].extend(removed.iter().copied());
             }
@@ -319,6 +467,10 @@ struct Frame {
     candidates: Vec<u64>,
     next: usize,
     trail: Option<Trail>,
+    /// Values proven futile at this frame: every refuted candidate plus
+    /// its orbit under the generators that stabilized the partial
+    /// assignment when the refutation completed (orbit branching).
+    covered: Vec<u64>,
 }
 
 impl Frame {
@@ -328,6 +480,56 @@ impl Frame {
             candidates: state.domains[vi].iter().copied().collect(),
             next: 0,
             trail: None,
+            covered: Vec::new(),
+        }
+    }
+
+    /// Marks `failed` and its orbit as covered.
+    ///
+    /// **Soundness.** Called only when the subtree under
+    /// `assigned[vi] = failed` has been exhaustively refuted and the
+    /// search state is back to exactly what it was when this frame
+    /// opened. A generator `(σ, π)` is *active* if `σ` fixes `vi` and
+    /// currently stabilizes the partial assignment (`viol == 0`, see
+    /// [`GenTrack`]). Transporting any hypothetical solution that
+    /// extends the partial map with `δ(vi) = π(failed)` along the
+    /// active generator yields a solution extending the same partial
+    /// map with `δ(vi) = failed` — transport preserves validity
+    /// (domain equivariance, checked at
+    /// [`PreparedInstance::attach_symmetries`]) and agreement (`σ` is a
+    /// complex automorphism and `π` a value bijection, so distinct
+    /// value counts per facet are preserved; this is why
+    /// [`AgreementConstraint::MaxRange`] — not invariant under value
+    /// bijections — never enables orbit branching). Since `failed` was
+    /// refuted, no such solution exists, so `π(failed)` (and, closing
+    /// under the active set, its whole orbit) can be skipped without
+    /// losing completeness — and without changing the verdict or the
+    /// first witness found, because skipped candidates could only ever
+    /// fail.
+    fn cover_orbit(&mut self, state: &SearchState<'_>, failed: u64) {
+        if state.gens.is_empty() {
+            return;
+        }
+        let active: Vec<usize> = state.fixing[self.vi]
+            .iter()
+            .copied()
+            .filter(|&g| state.gens[g].viol == 0)
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        if !self.covered.contains(&failed) {
+            self.covered.push(failed);
+        }
+        let mut queue = vec![failed];
+        while let Some(x) = queue.pop() {
+            for &g in &active {
+                let y = state.gens[g].values[x as usize];
+                if !self.covered.contains(&y) {
+                    self.covered.push(y);
+                    queue.push(y);
+                }
+            }
         }
     }
 }
@@ -400,6 +602,41 @@ impl DecisionMapSolver {
         if instance.domains.iter().any(|d| d.is_empty()) {
             return None;
         }
+        // Orbit branching transports solutions along value bijections,
+        // which preserves distinct-value counts (AtMostKDistinct,
+        // AllDistinct) but not value *ranges* — MaxRange stays unpruned.
+        let use_symmetry = self.config.orbit_branching
+            && !instance.symmetries.is_empty()
+            && !matches!(constraint, AgreementConstraint::MaxRange(_));
+        let gens: Vec<GenTrack> = if use_symmetry {
+            instance
+                .symmetries
+                .iter()
+                .map(|s| {
+                    let mut inv = vec![0u32; s.vertex.len()];
+                    for (i, &j) in s.vertex.iter().enumerate() {
+                        inv[j as usize] = i as u32;
+                    }
+                    GenTrack {
+                        vertex: s.vertex.clone(),
+                        inv,
+                        values: s.values.clone(),
+                        viol: 0,
+                        vflag: vec![false; s.vertex.len()],
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut fixing: Vec<Vec<usize>> = vec![Vec::new(); instance.vertices.len()];
+        for (gi, g) in gens.iter().enumerate() {
+            for (v, &img) in g.vertex.iter().enumerate() {
+                if img as usize == v {
+                    fixing[v].push(gi);
+                }
+            }
+        }
         let mut state = SearchState {
             domains: instance.domains.clone(),
             assigned: vec![None; instance.vertices.len()],
@@ -407,6 +644,8 @@ impl DecisionMapSolver {
             facets_of: &instance.facets_of,
             constraint,
             forward_checking: self.config.forward_checking,
+            gens,
+            fixing,
         };
         if self.backtrack(&mut state) {
             Some(
@@ -456,13 +695,21 @@ impl DecisionMapSolver {
             // before trying the next candidate.
             if let Some(trail) = frame.trail.take() {
                 state.undo(&trail);
-                state.assigned[frame.vi] = None;
+                state.clear_assigned(frame.vi);
                 self.stats.backtracks += 1;
+                // the candidate whose subtree just failed (the cursor
+                // advanced past it before descending)
+                let failed = frame.candidates[frame.next - 1];
+                frame.cover_orbit(state, failed);
             }
             let mut descended = false;
             while frame.next < frame.candidates.len() {
                 let val = frame.candidates[frame.next];
                 frame.next += 1;
+                if frame.covered.contains(&val) {
+                    self.stats.orbit_skips += 1;
+                    continue;
+                }
                 self.stats.assignments += 1;
                 if let Some(trail) = state.assign(frame.vi, val, &mut self.stats) {
                     frame.trail = Some(trail);
@@ -470,6 +717,7 @@ impl DecisionMapSolver {
                     break;
                 }
                 self.stats.backtracks += 1;
+                frame.cover_orbit(state, val);
             }
             if !descended {
                 stack.pop();
@@ -501,7 +749,7 @@ impl DecisionMapSolver {
                     return true;
                 }
                 state.undo(&trail);
-                state.assigned[vi] = None;
+                state.clear_assigned(vi);
             }
             self.stats.backtracks += 1;
         }
@@ -532,6 +780,8 @@ impl DecisionMapSolver {
             facets_of: &instance.facets_of,
             constraint,
             forward_checking: self.config.forward_checking,
+            gens: Vec::new(),
+            fixing: vec![Vec::new(); instance.vertices.len()],
         };
         if self.backtrack_recursive(&mut state) {
             Some(
@@ -829,6 +1079,7 @@ mod tests {
         let mut fast = DecisionMapSolver::new();
         let mut slow = DecisionMapSolver::with_config(SolverConfig {
             forward_checking: false,
+            ..SolverConfig::default()
         });
         assert_eq!(fast.solve(&c, dom, 1), None);
         assert_eq!(slow.solve(&c, dom, 1), None);
@@ -889,6 +1140,160 @@ mod tests {
         }
     }
 
+    /// A value-permutation symmetry with the identity vertex map. Valid
+    /// for any complex whose domains are all invariant under `values`
+    /// (attach_symmetries re-checks this).
+    fn value_symmetry(n: usize, values: Vec<u64>) -> InstanceSymmetry {
+        InstanceSymmetry::new(ps_symmetry::Perm::identity(n), values).expect("valid tables")
+    }
+
+    #[test]
+    fn orbit_branching_prunes_without_changing_verdict() {
+        // all-distinct on a triangle with a 2-value namespace is a
+        // pigeonhole impossibility; the instance is symmetric under
+        // swapping the two values (identity on vertices, which fixes
+        // the branch vertex). The pruned search refutes candidate 0 at
+        // the root and skips its orbit-mate 1 outright.
+        let c = Complex::simplex(s(&[0, 1, 2]));
+        let dom = |_: &u32| -> BTreeSet<u64> { [0u64, 1].into_iter().collect() };
+        let mut with_sym = PreparedInstance::new(&c, dom);
+        assert_eq!(
+            with_sym.attach_symmetries([value_symmetry(3, vec![1, 0])]),
+            1
+        );
+        let mut pruned_solver = DecisionMapSolver::new();
+        assert_eq!(
+            pruned_solver.solve_prepared(&with_sym, AgreementConstraint::AllDistinct),
+            None
+        );
+        let pruned_stats = pruned_solver.stats();
+        assert!(
+            pruned_stats.orbit_skips > 0,
+            "expected orbit skips: {pruned_stats:?}"
+        );
+        let plain = PreparedInstance::new(&c, dom);
+        let mut unpruned_solver = DecisionMapSolver::new();
+        assert_eq!(
+            unpruned_solver.solve_prepared(&plain, AgreementConstraint::AllDistinct),
+            None
+        );
+        let unpruned_stats = unpruned_solver.stats();
+        assert_eq!(unpruned_stats.orbit_skips, 0);
+        assert!(
+            pruned_stats.assignments < unpruned_stats.assignments,
+            "pruning should save work: pruned={pruned_stats:?} unpruned={unpruned_stats:?}"
+        );
+        // solvable case: a 3-value namespace admits a map, and the
+        // witness is identical with and without the (rotation) symmetry
+        let wide = |_: &u32| -> BTreeSet<u64> { (0..3u64).collect() };
+        let mut wide_sym = PreparedInstance::new(&c, wide);
+        assert_eq!(
+            wide_sym.attach_symmetries([value_symmetry(3, vec![1, 2, 0])]),
+            1
+        );
+        let wide_plain = PreparedInstance::new(&c, wide);
+        let got = pruned_solver.solve_prepared(&wide_sym, AgreementConstraint::AllDistinct);
+        let want = unpruned_solver.solve_prepared(&wide_plain, AgreementConstraint::AllDistinct);
+        assert!(got.is_some());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn attach_symmetries_filters_useless_generators() {
+        let c = Complex::simplex(s(&[0, 1, 2]));
+        let dom = |_: &u32| -> BTreeSet<u64> { [0u64, 1].into_iter().collect() };
+        let mut inst = PreparedInstance::new(&c, dom);
+        // identity value map: dropped (can never prune a value choice)
+        let id_values = value_symmetry(3, vec![0, 1]);
+        // fixed-point-free vertex map with a value swap: dropped
+        let rotation = InstanceSymmetry::new(
+            ps_symmetry::Perm::from_images(vec![1, 2, 0]).unwrap(),
+            vec![1, 0],
+        )
+        .unwrap();
+        // wrong degree: dropped
+        let wrong_degree = value_symmetry(5, vec![1, 0]);
+        // a useful one: identity vertices, swapped values
+        let useful = value_symmetry(3, vec![1, 0]);
+        assert_eq!(
+            inst.attach_symmetries([id_values, rotation, wrong_degree, useful]),
+            1
+        );
+        assert_eq!(inst.symmetry_count(), 1);
+    }
+
+    #[test]
+    fn attach_symmetries_rejects_non_equivariant_domains() {
+        // vertex 0 pinned to {0}: swapping values without swapping
+        // vertices breaks dom(sigma(v)) == pi(dom(v))
+        let c = Complex::simplex(s(&[0, 1]));
+        let dom = |v: &u32| -> BTreeSet<u64> {
+            if *v == 0 {
+                [0u64].into_iter().collect()
+            } else {
+                [0u64, 1].into_iter().collect()
+            }
+        };
+        let mut inst = PreparedInstance::new(&c, dom);
+        assert_eq!(inst.attach_symmetries([value_symmetry(2, vec![1, 0])]), 0);
+    }
+
+    #[test]
+    fn max_range_never_uses_orbit_branching() {
+        // MaxRange is not invariant under value bijections; even with a
+        // symmetry attached the solver must not skip candidates.
+        let c = Complex::from_facets([s(&[0, 1]), s(&[1, 2])]);
+        let dom = |_: &u32| -> BTreeSet<u64> { (0..=3u64).collect() };
+        let mut inst = PreparedInstance::new(&c, dom);
+        // value reversal x -> 3-x keeps every uniform domain invariant
+        assert_eq!(
+            inst.attach_symmetries([value_symmetry(3, vec![3, 2, 1, 0])]),
+            1
+        );
+        let mut solver = DecisionMapSolver::new();
+        let got = solver.solve_prepared(&inst, AgreementConstraint::MaxRange(1));
+        assert!(got.is_some());
+        assert_eq!(solver.stats().orbit_skips, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Orbit branching with a value-permutation symmetry returns the
+        /// same verdict AND the same witness as the unpruned search on
+        /// random instances with uniform domains (where any value
+        /// permutation of the shared domain is a valid symmetry).
+        #[test]
+        fn orbit_branching_matches_unpruned(
+            facets in prop::collection::vec(
+                prop::collection::vec(0u32..10, 1..=4usize), 1..=6usize),
+            perm_seed in 0usize..6,
+            k in 1usize..=2,
+        ) {
+            let nv = 10;
+            let doms = vec![vec![0u64, 1, 2]];
+            let (c, allowed) = arbitrary_instance(&facets, &doms, nv);
+            // one of the 6 permutations of {0,1,2}
+            let tables: [[u64; 3]; 6] = [
+                [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+            ];
+            let values = tables[perm_seed].to_vec();
+            let n = c.vertex_set().len();
+            let mut with_sym = PreparedInstance::new(&c, allowed);
+            with_sym.attach_symmetries([value_symmetry(n, values)]);
+            let plain = PreparedInstance::new(&c, allowed);
+            let constraint = AgreementConstraint::AtMostKDistinct(k);
+            let mut pruned = DecisionMapSolver::new();
+            let got = pruned.solve_prepared(&with_sym, constraint);
+            let mut unpruned = DecisionMapSolver::new();
+            let want = unpruned.solve_prepared(&plain, constraint);
+            prop_assert_eq!(&got, &want);
+            if let Some(map) = got {
+                prop_assert!(DecisionMapSolver::verify_with(&c, &map, allowed, constraint));
+            }
+        }
+    }
+
     /// Builds the random instance shared by the oracle proptests: a
     /// complex from random facets over `nv` vertices, with per-vertex
     /// domains drawn from the `doms` table.
@@ -929,7 +1334,7 @@ mod tests {
             let (c, allowed) = arbitrary_instance(&facets, &doms, nv);
             let constraint = AgreementConstraint::AtMostKDistinct(k);
             for forward_checking in [true, false] {
-                let config = SolverConfig { forward_checking };
+                let config = SolverConfig { forward_checking, ..SolverConfig::default() };
                 let mut iter_solver = DecisionMapSolver::with_config(config);
                 let got = iter_solver.solve_with(&c, allowed, constraint);
                 let mut rec_solver = DecisionMapSolver::with_config(config);

@@ -87,6 +87,7 @@ fn bench_forward_checking_ablation(c: &mut Criterion) {
         b.iter(|| {
             let mut s = DecisionMapSolver::with_config(SolverConfig {
                 forward_checking: false,
+                ..SolverConfig::default()
             });
             black_box(s.solve(&complex, allowed_values, 1).is_none())
         })

@@ -4,8 +4,9 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use ps_agreement::{
-    async_solvable, semisync_solvable, solvability_sweep_auto, solvability_sweep_shared_auto,
-    stretch_experiment, sync_solvable, FloodSet, SweepPoint,
+    async_solvable_opts, semisync_solvable_opts, solvability_sweep_opts,
+    solvability_sweep_shared_opts, stretch_experiment, sync_solvable_opts, FloodSet, SweepOptions,
+    SweepPoint,
 };
 use ps_core::{process_simplex, MvProver, ProcessId, Pseudosphere};
 use ps_models::{input_simplex, AsyncModel, IisModel, SemiSyncModel, SyncModel};
@@ -23,16 +24,30 @@ usage:
                [--p P] [--rounds R] [--format summary|dot|off|text]
   psph prove <sync|semisync> [--procs N] [--k K] [--p P] [--level L]
   psph solve <async|sync|semisync> [--procs N] [--f F] [--k K]
-               [--p P] [--rounds R]
+               [--p P] [--rounds R] [--symmetry on|off]
   psph sweep <async|sync|semisync> [--procs N] [--f F] [--k K]
-               [--p P] [--rounds R] [--independent]
+               [--p P] [--rounds R] [--independent] [--symmetry on|off]
   psph simulate [--procs N] [--f F] [--k K] [--seeds S]
   psph stretch [--procs N] [--k K] [--c1 T] [--c2 T] [--d T]
   psph chain [--procs N]
 
 defaults: --procs 3 --f 1 --k 1 --p 2 --rounds 1
 global: --threads T  worker threads for homology and sweeps
-        (default: all cores; PS_THREADS overrides)";
+        (default: all cores; PS_THREADS overrides)
+        --symmetry on|off  exploit task symmetries: orbit branching in
+        the solver and canonical-form dedupe across sweep groups
+        (default: on; verdicts are identical either way)";
+
+/// Parses `--symmetry on|off` (default `on`).
+fn symmetry_opt(args: &Args) -> Result<bool, ArgError> {
+    match args.str_opt("symmetry", "on").as_str() {
+        "on" | "true" => Ok(true),
+        "off" | "false" => Ok(false),
+        other => Err(ArgError(format!(
+            "--symmetry expects `on` or `off`, got `{other}`"
+        ))),
+    }
+}
 
 /// Dispatches a parsed command line.
 pub fn run(args: &Args) -> Result<(), ArgError> {
@@ -254,10 +269,11 @@ fn solve(args: &Args) -> Result<(), ArgError> {
     let k = args.usize_opt("k", 1)?;
     let p = args.usize_opt("p", 2)? as u32;
     let rounds = args.usize_opt("rounds", 1)?;
+    let symmetry = symmetry_opt(args)?;
     let res = match model.as_str() {
-        "async" => async_solvable(k, f, n, rounds),
-        "sync" => sync_solvable(k, f, n, k.max(1).min(f.max(1)), rounds),
-        "semisync" => semisync_solvable(k, f, n, k.max(1).min(f.max(1)), p, rounds),
+        "async" => async_solvable_opts(k, f, n, rounds, symmetry),
+        "sync" => sync_solvable_opts(k, f, n, k.max(1).min(f.max(1)), rounds, symmetry),
+        "semisync" => semisync_solvable_opts(k, f, n, k.max(1).min(f.max(1)), p, rounds, symmetry),
         other => return Err(ArgError(format!("unknown model `{other}`"))),
     };
     println!("{model} {k}-set agreement, {n} processes, f = {f}, r = {rounds}:");
@@ -317,16 +333,20 @@ fn sweep(args: &Args) -> Result<(), ArgError> {
     }
     let threads = ps_topology::parallel::configured_threads();
     let independent = args.flag("independent");
+    let opts = SweepOptions {
+        symmetry: symmetry_opt(args)?,
+    };
     println!(
-        "{model} sweep: {n} processes, f = {f}, k = 1..={}, r = 1..={} ({} points, {threads} threads)",
+        "{model} sweep: {n} processes, f = {f}, k = 1..={}, r = 1..={} ({} points, {threads} threads, symmetry {})",
         k_max.max(1),
         r_max.max(1),
-        points.len()
+        points.len(),
+        if opts.symmetry { "on" } else { "off" },
     );
     let results = if independent {
         // legacy per-point path: each point rebuilds its own canonical
         // ({0..k}) protocol complex
-        solvability_sweep_auto(&points)
+        solvability_sweep_opts(&points, threads, opts)
     } else {
         // amortized path: points differing only in k share one interned
         // complex + facet index, solved on the group domain {0..k_max}
@@ -334,7 +354,7 @@ fn sweep(args: &Args) -> Result<(), ArgError> {
             "  (amortized: points sharing (model, n, f, r) reuse one complex over the \
              value domain {{0..k_max}}; pass --independent for per-point canonical domains)"
         );
-        solvability_sweep_shared_auto(&points)
+        solvability_sweep_shared_opts(&points, threads, opts)
     };
     println!(
         "  {:>3} {:>3} {:>10} {:>8}  outcome",

@@ -34,3 +34,6 @@ pub use iis::IisModel;
 
 pub mod semisync;
 pub use semisync::{FailurePattern, SemiSyncModel, SemiSyncTiming, ViewVector};
+
+pub mod symmetry;
+pub use symmetry::process_transpositions;

@@ -106,6 +106,34 @@ impl<I: Label> View<I> {
     pub fn known_processes(&self) -> BTreeSet<ProcessId> {
         self.known_inputs().keys().copied().collect()
     }
+
+    /// Applies a process relabeling and an input-value relabeling to
+    /// every layer of the view tree.
+    ///
+    /// When `pf` is a permutation of the participating processes and
+    /// `vf` a permutation of the value alphabet, this is the natural
+    /// group action on full-information states: who I am, who I heard,
+    /// and every nested sender are renamed consistently, and inputs
+    /// are mapped at the leaves.
+    pub fn relabel<PF, VF>(&self, pf: &PF, vf: &VF) -> View<I>
+    where
+        PF: Fn(ProcessId) -> ProcessId,
+        VF: Fn(&I) -> I,
+    {
+        match self {
+            View::Input { process, input } => View::Input {
+                process: pf(*process),
+                input: vf(input),
+            },
+            View::Round { process, heard } => View::Round {
+                process: pf(*process),
+                heard: heard
+                    .iter()
+                    .map(|(p, v)| (pf(*p), v.relabel(pf, vf)))
+                    .collect(),
+            },
+        }
+    }
 }
 
 impl<I: Label> fmt::Debug for View<I> {
@@ -195,6 +223,30 @@ impl<I: Label> SsView<I> {
                     v.collect_inputs(out);
                 }
             }
+        }
+    }
+
+    /// Applies a process relabeling and an input-value relabeling to
+    /// every layer of the view tree, preserving microround
+    /// annotations (timing is a property of the schedule, not of
+    /// process identity).
+    pub fn relabel<PF, VF>(&self, pf: &PF, vf: &VF) -> SsView<I>
+    where
+        PF: Fn(ProcessId) -> ProcessId,
+        VF: Fn(&I) -> I,
+    {
+        match self {
+            SsView::Input { process, input } => SsView::Input {
+                process: pf(*process),
+                input: vf(input),
+            },
+            SsView::Round { process, heard } => SsView::Round {
+                process: pf(*process),
+                heard: heard
+                    .iter()
+                    .map(|(p, (mu, v))| (pf(*p), (*mu, v.relabel(pf, vf))))
+                    .collect(),
+            },
         }
     }
 }

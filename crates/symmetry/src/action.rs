@@ -1,0 +1,191 @@
+//! Group actions on interned complexes through `VertexPool`
+//! relabeling.
+//!
+//! A symmetry of a protocol complex is naturally described at the
+//! *label* level — e.g. "swap processes 1 and 2 and swap input values
+//! 0 and 1", acting on full-information views. [`pool_permutation`]
+//! lifts such a label action to a permutation of dense vertex ids by
+//! looking each image up in the pool, and fails (returns `None`) when
+//! the action does not map the pool's label set onto itself. Once
+//! lifted, checking that the action preserves an [`IdComplex`] is a
+//! cheap facet-set membership scan ([`AutomorphismValidator`]).
+
+use std::collections::HashMap;
+
+use ps_topology::{IdComplex, IdSimplex, Label, VertexPool};
+
+use crate::perm::Perm;
+
+/// Lifts a label-level action to a vertex-id permutation through a
+/// pool.
+///
+/// Returns `None` when the action is not a bijection of the pool's
+/// label set onto itself (some image is not an interned label, or two
+/// labels collide). The resulting permutation has degree `pool.len()`.
+pub fn pool_permutation<V: Label>(pool: &VertexPool<V>, act: impl Fn(&V) -> V) -> Option<Perm> {
+    let mut images = Vec::with_capacity(pool.len());
+    for v in pool.labels() {
+        images.push(pool.id_of(&act(v))?);
+    }
+    Perm::from_images(images)
+}
+
+/// Applies a vertex-id permutation to a simplex.
+///
+/// # Panics
+/// Panics if the simplex contains an id outside the permutation's
+/// degree.
+pub fn apply_to_simplex(perm: &Perm, s: &IdSimplex) -> IdSimplex {
+    IdSimplex::from_ids(s.ids().map(|id| perm.apply(id)).collect())
+}
+
+/// Applies a vertex-id permutation to every facet of a complex.
+///
+/// Because a permutation is a bijection on vertices, the image of a
+/// facet anti-chain is again an anti-chain, so facets are inserted
+/// unchecked.
+pub fn apply_to_complex(perm: &Perm, c: &IdComplex) -> IdComplex {
+    let mut out = IdComplex::new();
+    for f in c.facets() {
+        out.insert_facet_unchecked(apply_to_simplex(perm, f));
+    }
+    out
+}
+
+/// Certifies that proposed generators preserve a fixed complex.
+///
+/// An id permutation `σ` is an automorphism of a complex `C` iff it
+/// maps the facet set onto itself: a bijective vertex map sends
+/// maximal simplexes to maximal simplexes, and injectivity on a
+/// finite set makes "into" equal "onto". The validator indexes the
+/// facet set once, so each check is `O(facets × facet size)`.
+pub struct AutomorphismValidator {
+    facets: HashMap<IdSimplex, usize>,
+    n: usize,
+}
+
+impl AutomorphismValidator {
+    /// Indexes the facets of `c` for repeated validation. Vertex ids
+    /// in `c` must be dense (`< n`), where `n` is the degree of the
+    /// permutations to validate.
+    pub fn new(c: &IdComplex, n: usize) -> AutomorphismValidator {
+        debug_assert!(c.vertex_set().iter().all(|&v| (v as usize) < n));
+        AutomorphismValidator {
+            facets: c
+                .facets()
+                .enumerate()
+                .map(|(i, f)| (f.clone(), i))
+                .collect(),
+            n,
+        }
+    }
+
+    /// Whether `perm` maps every facet to a facet (hence is an
+    /// automorphism of the indexed complex).
+    pub fn is_automorphism(&self, perm: &Perm) -> bool {
+        perm.degree() == self.n
+            && self
+                .facets
+                .keys()
+                .all(|f| self.facets.contains_key(&apply_to_simplex(perm, f)))
+    }
+
+    /// Filters a proposed generator set down to certified
+    /// automorphisms, preserving order.
+    pub fn certify(&self, gens: impl IntoIterator<Item = Perm>) -> Vec<Perm> {
+        gens.into_iter()
+            .filter(|g| self.is_automorphism(g))
+            .collect()
+    }
+
+    /// The permutation induced on *facet indices* (positions in the
+    /// complex's sorted facet order) by a vertex automorphism, or
+    /// `None` if `perm` is not an automorphism.
+    pub fn facet_action(&self, perm: &Perm) -> Option<Perm> {
+        if perm.degree() != self.n {
+            return None;
+        }
+        let mut images = vec![0u32; self.facets.len()];
+        for (f, &i) in &self.facets {
+            let j = self.facets.get(&apply_to_simplex(perm, f))?;
+            images[i] = *j as u32;
+        }
+        Perm::from_images(images)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orbits::orbit_partition;
+
+    /// The hollow triangle on ids {0,1,2}: facets are the three edges.
+    fn hollow_triangle() -> IdComplex {
+        IdComplex::from_facets(vec![
+            IdSimplex::from_ids(vec![0, 1]),
+            IdSimplex::from_ids(vec![0, 2]),
+            IdSimplex::from_ids(vec![1, 2]),
+        ])
+    }
+
+    #[test]
+    fn pool_permutation_lifts_label_swap() {
+        let mut pool: VertexPool<(u32, u32)> = VertexPool::new();
+        // labels (process, value)
+        for p in 0..2 {
+            for v in 0..2 {
+                pool.intern((p, v));
+            }
+        }
+        // swap the two values
+        let perm = pool_permutation(&pool, |&(p, v)| (p, 1 - v)).unwrap();
+        assert_eq!(perm.degree(), 4);
+        let a = pool.id_of(&(0, 0)).unwrap();
+        let b = pool.id_of(&(0, 1)).unwrap();
+        assert_eq!(perm.apply(a), b);
+        assert_eq!(perm.apply(b), a);
+        // a non-closed action fails to lift
+        assert!(pool_permutation(&pool, |&(p, v)| (p, v + 7)).is_none());
+    }
+
+    #[test]
+    fn triangle_rotation_is_automorphism_and_induces_facet_cycle() {
+        let c = hollow_triangle();
+        let validator = AutomorphismValidator::new(&c, 3);
+        let rot = Perm::from_images(vec![1, 2, 0]).unwrap();
+        assert!(validator.is_automorphism(&rot));
+        // facets sorted: {0,1} < {0,2} < {1,2}; rot maps
+        // {0,1}->{1,2}, {0,2}->{0,1}, {1,2}->{0,2}
+        let fa = validator.facet_action(&rot).unwrap();
+        assert_eq!(fa.images(), &[2, 0, 1]);
+        assert_eq!(orbit_partition(3, &[fa]), vec![vec![0, 1, 2]]);
+        // the complex is genuinely preserved
+        assert_eq!(apply_to_complex(&rot, &c), c);
+    }
+
+    #[test]
+    fn non_automorphism_is_rejected() {
+        // filled triangle plus a pendant edge: swapping 0 and 3 is not
+        // an automorphism
+        let c = IdComplex::from_facets(vec![
+            IdSimplex::from_ids(vec![0, 1, 2]),
+            IdSimplex::from_ids(vec![2, 3]),
+        ]);
+        let validator = AutomorphismValidator::new(&c, 4);
+        let bad = Perm::transposition(4, 0, 3);
+        assert!(!validator.is_automorphism(&bad));
+        assert!(validator.facet_action(&bad).is_none());
+        // swapping 0 and 1 is one
+        let good = Perm::transposition(4, 0, 1);
+        assert!(validator.is_automorphism(&good));
+        assert!(validator.facet_action(&good).unwrap().is_identity());
+        assert_eq!(validator.certify(vec![bad, good.clone()]), vec![good]);
+    }
+
+    #[test]
+    fn wrong_degree_is_rejected() {
+        let c = hollow_triangle();
+        let validator = AutomorphismValidator::new(&c, 3);
+        assert!(!validator.is_automorphism(&Perm::identity(4)));
+    }
+}

@@ -11,7 +11,10 @@
 //!   vertex, ever);
 //! - [`IdSimplex`] stores a simplex of ids, with a 64-bit bitset fast
 //!   path when every id is `< 64` (subset, union, and intersection are
-//!   single word ops) and a sorted vector fallback otherwise;
+//!   single word ops), a 128-bit `[u64; 2]` tier when every id is
+//!   `< 128` (the same ops on two words — protocol complexes at n = 5,
+//!   r = 2 exceed 64 vertices but stay well under 128), and a sorted
+//!   vector fallback otherwise;
 //! - [`IdComplex`] mirrors the facet-anti-chain representation of
 //!   [`Complex`] over ids, with the vertex set and dimension cached;
 //! - [`InternedBuilder`] accumulates facets given as raw label lists,
@@ -31,7 +34,7 @@
 //! label-typed path would have produced.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use crate::{Complex, Label, Simplex};
@@ -147,19 +150,35 @@ impl<V: Label> fmt::Debug for VertexPool<V> {
 /// A simplex over dense vertex ids.
 ///
 /// Canonical form: the [`IdSimplex::Bits`] variant is used whenever
-/// every id is `< 64` (bit `i` set ⟺ id `i` present); otherwise the
-/// ids are kept as a strictly increasing vector. All constructors and
-/// operations maintain this, so derived equality and hashing are sound.
+/// every id is `< 64` (bit `i` set ⟺ id `i` present); the
+/// [`IdSimplex::Bits2`] variant when every id is `< 128` but some id is
+/// `≥ 64` (word `i / 64`, bit `i % 64`); otherwise the ids are kept as
+/// a strictly increasing vector. All constructors and operations
+/// maintain this three-tier canonical form, so derived equality and
+/// hashing are sound.
 ///
 /// The ordering is lexicographic on the ascending id sequence — the
 /// same order [`Simplex`] has on sorted label vectors — implemented for
-/// bitsets with a lowest-differing-bit trick rather than by iterating.
+/// both bitset tiers with a lowest-differing-bit trick rather than by
+/// iterating.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub enum IdSimplex {
     /// Every id `< 64`: bit `i` set ⟺ vertex id `i` present.
     Bits(u64),
-    /// Fallback: strictly increasing ids, at least one `≥ 64`.
+    /// Every id `< 128`, at least one `≥ 64`: word `i / 64`, bit
+    /// `i % 64` set ⟺ vertex id `i` present.
+    Bits2([u64; 2]),
+    /// Fallback: strictly increasing ids, at least one `≥ 128`.
     Sorted(Vec<u32>),
+}
+
+/// Re-canonicalizes a 128-bit mask into the right bitset tier.
+fn from_mask128(m: u128) -> IdSimplex {
+    if m >> 64 == 0 {
+        IdSimplex::Bits(m as u64)
+    } else {
+        IdSimplex::Bits2([m as u64, (m >> 64) as u64])
+    }
 }
 
 impl IdSimplex {
@@ -170,10 +189,19 @@ impl IdSimplex {
 
     /// The 0-simplex `{id}`.
     pub fn vertex(id: u32) -> Self {
-        if id < 64 {
-            IdSimplex::Bits(1u64 << id)
+        if id < 128 {
+            from_mask128(1u128 << id)
         } else {
             IdSimplex::Sorted(vec![id])
+        }
+    }
+
+    /// The 128-bit mask of the id set, when every id is `< 128`.
+    fn mask128(&self) -> Option<u128> {
+        match self {
+            IdSimplex::Bits(m) => Some(u128::from(*m)),
+            IdSimplex::Bits2([lo, hi]) => Some(u128::from(*lo) | (u128::from(*hi) << 64)),
+            IdSimplex::Sorted(_) => None,
         }
     }
 
@@ -192,12 +220,12 @@ impl IdSimplex {
         );
         match ids.last() {
             None => IdSimplex::Bits(0),
-            Some(&max) if max < 64 => {
-                let mut mask = 0u64;
+            Some(&max) if max < 128 => {
+                let mut mask = 0u128;
                 for &i in &ids {
-                    mask |= 1u64 << i;
+                    mask |= 1u128 << i;
                 }
-                IdSimplex::Bits(mask)
+                from_mask128(mask)
             }
             _ => IdSimplex::Sorted(ids),
         }
@@ -207,6 +235,7 @@ impl IdSimplex {
     pub fn len(&self) -> usize {
         match self {
             IdSimplex::Bits(m) => m.count_ones() as usize,
+            IdSimplex::Bits2([lo, hi]) => (lo.count_ones() + hi.count_ones()) as usize,
             IdSimplex::Sorted(v) => v.len(),
         }
     }
@@ -215,6 +244,8 @@ impl IdSimplex {
     pub fn is_empty(&self) -> bool {
         match self {
             IdSimplex::Bits(m) => *m == 0,
+            // canonical Bits2 always has a bit ≥ 64 set
+            IdSimplex::Bits2(_) => false,
             IdSimplex::Sorted(v) => v.is_empty(),
         }
     }
@@ -227,7 +258,8 @@ impl IdSimplex {
     /// Iterator over the ids in ascending order.
     pub fn ids(&self) -> IdIter<'_> {
         match self {
-            IdSimplex::Bits(m) => IdIter::Bits(*m),
+            IdSimplex::Bits(m) => IdIter::Bits(u128::from(*m)),
+            IdSimplex::Bits2(_) => IdIter::Bits(self.mask128().unwrap()),
             IdSimplex::Sorted(v) => IdIter::Sorted(v.iter()),
         }
     }
@@ -236,30 +268,35 @@ impl IdSimplex {
     pub fn contains(&self, id: u32) -> bool {
         match self {
             IdSimplex::Bits(m) => id < 64 && m & (1u64 << id) != 0,
+            IdSimplex::Bits2(_) => id < 128 && self.mask128().unwrap() & (1u128 << id) != 0,
             IdSimplex::Sorted(v) => v.binary_search(&id).is_ok(),
         }
     }
 
     /// `true` iff `self` is a (not necessarily proper) face of `other`.
     pub fn is_face_of(&self, other: &IdSimplex) -> bool {
-        match (self, other) {
-            (IdSimplex::Bits(a), IdSimplex::Bits(b)) => a & !b == 0,
-            (a, b) => {
-                if a.len() > b.len() {
+        match (self.mask128(), other.mask128()) {
+            (Some(a), Some(b)) => a & !b == 0,
+            // a bitset tier (all ids < 128) can still be a face of a
+            // Sorted simplex, but never vice versa (Sorted has an id
+            // ≥ 128 the bitset cannot contain)
+            (None, Some(_)) => false,
+            _ => {
+                if self.len() > other.len() {
                     return false;
                 }
-                a.ids().all(|id| b.contains(id))
+                self.ids().all(|id| other.contains(id))
             }
         }
     }
 
     /// The simplex spanned by the union of the two id sets.
     pub fn union(&self, other: &IdSimplex) -> IdSimplex {
-        match (self, other) {
-            (IdSimplex::Bits(a), IdSimplex::Bits(b)) => IdSimplex::Bits(a | b),
-            (a, b) => {
-                let mut ids: Vec<u32> = a.ids().collect();
-                ids.extend(b.ids());
+        match (self.mask128(), other.mask128()) {
+            (Some(a), Some(b)) => from_mask128(a | b),
+            _ => {
+                let mut ids: Vec<u32> = self.ids().collect();
+                ids.extend(other.ids());
                 IdSimplex::from_ids(ids)
             }
         }
@@ -267,27 +304,25 @@ impl IdSimplex {
 
     /// The common face: intersection of the two id sets.
     pub fn intersection(&self, other: &IdSimplex) -> IdSimplex {
-        match (self, other) {
-            (IdSimplex::Bits(a), IdSimplex::Bits(b)) => IdSimplex::Bits(a & b),
-            (a, b) => IdSimplex::from_sorted_ids(a.ids().filter(|&id| b.contains(id)).collect()),
+        match (self.mask128(), other.mask128()) {
+            (Some(a), Some(b)) => from_mask128(a & b),
+            _ => IdSimplex::from_sorted_ids(self.ids().filter(|&id| other.contains(id)).collect()),
         }
     }
 
     /// The face obtained by removing `id` (no-op if absent).
     pub fn without(&self, id: u32) -> IdSimplex {
-        match self {
-            IdSimplex::Bits(m) if id < 64 => IdSimplex::Bits(m & !(1u64 << id)),
-            IdSimplex::Bits(m) => IdSimplex::Bits(*m),
-            IdSimplex::Sorted(_) => {
-                IdSimplex::from_sorted_ids(self.ids().filter(|&i| i != id).collect())
-            }
+        match self.mask128() {
+            Some(m) if id < 128 => from_mask128(m & !(1u128 << id)),
+            Some(_) => self.clone(),
+            None => IdSimplex::from_sorted_ids(self.ids().filter(|&i| i != id).collect()),
         }
     }
 
     /// The simplex extended by one more id.
     pub fn with(&self, id: u32) -> IdSimplex {
-        match self {
-            IdSimplex::Bits(m) if id < 64 => IdSimplex::Bits(m | (1u64 << id)),
+        match self.mask128() {
+            Some(m) if id < 128 => from_mask128(m | (1u128 << id)),
             _ => {
                 let mut ids: Vec<u32> = self.ids().collect();
                 ids.push(id);
@@ -379,7 +414,7 @@ impl IdSimplex {
 /// contributes the smaller next element — unless the other side has no
 /// further elements at all, in which case it is a proper prefix (and a
 /// prefix sorts first).
-fn cmp_bits(a: u64, b: u64) -> Ordering {
+fn cmp_bits(a: u128, b: u128) -> Ordering {
     if a == b {
         return Ordering::Equal;
     }
@@ -401,9 +436,9 @@ fn cmp_bits(a: u64, b: u64) -> Ordering {
 
 impl Ord for IdSimplex {
     fn cmp(&self, other: &Self) -> Ordering {
-        match (self, other) {
-            (IdSimplex::Bits(a), IdSimplex::Bits(b)) => cmp_bits(*a, *b),
-            (a, b) => a.ids().cmp(b.ids()),
+        match (self.mask128(), other.mask128()) {
+            (Some(a), Some(b)) => cmp_bits(a, b),
+            _ => self.ids().cmp(other.ids()),
         }
     }
 }
@@ -436,8 +471,8 @@ impl fmt::Debug for IdSimplex {
 /// Iterator over the ids of an [`IdSimplex`], ascending.
 #[derive(Clone, Debug)]
 pub enum IdIter<'a> {
-    /// Remaining bits of a bitset simplex.
-    Bits(u64),
+    /// Remaining bits of a bitset simplex (either tier, widened).
+    Bits(u128),
     /// Remaining ids of a sorted-vector simplex.
     Sorted(std::slice::Iter<'a, u32>),
 }
@@ -479,6 +514,14 @@ pub struct IdComplex {
     facets: BTreeSet<IdSimplex>,
     vertices: BTreeSet<u32>,
     dim: i32,
+    /// Histogram of facet sizes (vertex counts). Kept exact so
+    /// [`IdComplex::add_simplex`] can skip absorption scans whenever
+    /// every stored facet has the same size as the incoming one: two
+    /// distinct equal-size simplexes are never comparable, so set
+    /// insertion alone maintains the anti-chain. Protocol-complex
+    /// construction inserts hundreds of thousands of equal-size facets,
+    /// which this turns from O(F) into O(log F) each.
+    sizes: BTreeMap<usize, usize>,
 }
 
 impl IdComplex {
@@ -488,6 +531,7 @@ impl IdComplex {
             facets: BTreeSet::new(),
             vertices: BTreeSet::new(),
             dim: -1,
+            sizes: BTreeMap::new(),
         }
     }
 
@@ -506,12 +550,33 @@ impl IdComplex {
         if s.is_empty() {
             return;
         }
-        if self.facets.iter().any(|f| s.is_face_of(f)) {
+        // Fast path: every stored facet has the same vertex count as
+        // `s`. A face relation between equal-size simplexes is
+        // equality, so deduplicating insertion preserves the
+        // anti-chain with no scans.
+        let m = s.len();
+        if self.sizes.len() <= 1 && self.sizes.keys().all(|&k| k == m) {
+            self.insert_facet_unchecked(s);
             return;
         }
-        self.facets.retain(|f| !f.is_face_of(&s));
-        self.note_caches(&s);
-        self.facets.insert(s);
+        let has_geq = self.sizes.range(m..).next().is_some();
+        if has_geq && self.facets.iter().any(|f| f.len() >= m && s.is_face_of(f)) {
+            return;
+        }
+        if self.sizes.range(..m).next().is_some() {
+            // only strictly smaller facets can be absorbed by `s`
+            let absorbed: Vec<IdSimplex> = self
+                .facets
+                .iter()
+                .filter(|f| f.len() < m && f.is_face_of(&s))
+                .cloned()
+                .collect();
+            for f in absorbed {
+                self.facets.remove(&f);
+                self.drop_size(f.len());
+            }
+        }
+        self.insert_facet_unchecked(s);
     }
 
     /// Inserts a facet the caller guarantees is not comparable with any
@@ -523,7 +588,19 @@ impl IdComplex {
             return;
         }
         self.note_caches(&s);
-        self.facets.insert(s);
+        let m = s.len();
+        if self.facets.insert(s) {
+            *self.sizes.entry(m).or_insert(0) += 1;
+        }
+    }
+
+    fn drop_size(&mut self, m: usize) {
+        match self.sizes.get_mut(&m) {
+            Some(c) if *c > 1 => *c -= 1,
+            _ => {
+                self.sizes.remove(&m);
+            }
+        }
     }
 
     fn note_caches(&mut self, s: &IdSimplex) {
@@ -886,15 +963,83 @@ mod tests {
     #[test]
     fn bits_variant_used_below_64() {
         assert!(matches!(ids(&[0, 5, 63]), IdSimplex::Bits(_)));
-        assert!(matches!(ids(&[0, 64]), IdSimplex::Sorted(_)));
-        assert!(matches!(IdSimplex::vertex(64), IdSimplex::Sorted(_)));
-        // operations re-canonicalize
+        assert!(matches!(ids(&[0, 64]), IdSimplex::Bits2(_)));
+        assert!(matches!(ids(&[0, 127]), IdSimplex::Bits2(_)));
+        assert!(matches!(ids(&[0, 128]), IdSimplex::Sorted(_)));
+        assert!(matches!(IdSimplex::vertex(64), IdSimplex::Bits2(_)));
+        assert!(matches!(IdSimplex::vertex(128), IdSimplex::Sorted(_)));
+        // operations re-canonicalize across every tier boundary
         let big = ids(&[2, 70]);
         assert!(matches!(big.without(70), IdSimplex::Bits(_)));
         assert!(matches!(
             big.intersection(&ids(&[2, 3])),
             IdSimplex::Bits(_)
         ));
+        let huge = ids(&[2, 70, 200]);
+        assert!(matches!(huge.without(200), IdSimplex::Bits2(_)));
+        assert!(matches!(huge.without(200).without(70), IdSimplex::Bits(_)));
+        assert!(matches!(
+            huge.intersection(&ids(&[2, 70, 90])),
+            IdSimplex::Bits2(_)
+        ));
+        assert!(matches!(ids(&[1]).with(100), IdSimplex::Bits2(_)));
+        assert!(matches!(ids(&[1]).with(128), IdSimplex::Sorted(_)));
+    }
+
+    /// Exhaustive tier-boundary checks of every operation against a
+    /// reference computed through plain sorted vectors.
+    #[test]
+    fn tier_boundaries_agree_with_sorted_reference() {
+        let sets: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![63],
+            vec![64],
+            vec![127],
+            vec![128],
+            vec![0, 63],
+            vec![0, 64],
+            vec![63, 64],
+            vec![63, 127],
+            vec![64, 127],
+            vec![64, 128],
+            vec![127, 128],
+            vec![0, 63, 64, 127],
+            vec![0, 64, 128],
+            vec![5, 66, 130],
+        ];
+        for a in &sets {
+            for b in &sets {
+                let sa: BTreeSet<u32> = a.iter().copied().collect();
+                let sb: BTreeSet<u32> = b.iter().copied().collect();
+                let ia = ids(a);
+                let ib = ids(b);
+                assert_eq!(
+                    ia.union(&ib),
+                    ids(&sa.union(&sb).copied().collect::<Vec<_>>())
+                );
+                assert_eq!(
+                    ia.intersection(&ib),
+                    ids(&sa.intersection(&sb).copied().collect::<Vec<_>>())
+                );
+                assert_eq!(ia.is_face_of(&ib), sa.is_subset(&sb), "{a:?} ⊆ {b:?}");
+                assert_eq!(ia.cmp(&ib), a.cmp(b));
+                for probe in [0u32, 63, 64, 127, 128, 130] {
+                    assert_eq!(ia.contains(probe), sa.contains(&probe));
+                    let mut w = sa.clone();
+                    w.remove(&probe);
+                    assert_eq!(
+                        ia.without(probe),
+                        ids(&w.iter().copied().collect::<Vec<_>>())
+                    );
+                    let mut x = sa.clone();
+                    x.insert(probe);
+                    assert_eq!(ia.with(probe), ids(&x.iter().copied().collect::<Vec<_>>()));
+                }
+                assert_eq!(ia.ids().collect::<Vec<_>>(), a.clone());
+                assert_eq!(ia.len(), a.len());
+            }
+        }
     }
 
     #[test]
@@ -989,6 +1134,33 @@ mod tests {
             c.vertex_set().iter().copied().collect::<Vec<_>>(),
             vec![0, 1, 2]
         );
+    }
+
+    #[test]
+    fn absorption_is_insertion_order_independent() {
+        // exercises the equal-size fast path, the absorbed-facet size
+        // bookkeeping, and the fallback scans: every insertion order of
+        // a mixed-size generating set must yield the same anti-chain
+        let gens = [
+            ids(&[0, 1, 2, 3]),
+            ids(&[0, 1, 2]), // face of the tetrahedron
+            ids(&[4, 5, 6, 7]),
+            ids(&[4, 5]), // face of the second tetrahedron
+            ids(&[8, 9]),
+            ids(&[8, 9]), // duplicate
+            ids(&[0, 4, 8]),
+            ids(&[0, 4]), // face of the triangle above
+        ];
+        let reference = IdComplex::from_facets(gens.clone());
+        assert_eq!(reference.facet_count(), 4);
+        // all rotations + the reverse of the generating sequence
+        for start in 0..gens.len() {
+            let mut rotated: Vec<IdSimplex> = gens[start..].to_vec();
+            rotated.extend_from_slice(&gens[..start]);
+            assert_eq!(IdComplex::from_facets(rotated.clone()), reference);
+            rotated.reverse();
+            assert_eq!(IdComplex::from_facets(rotated), reference);
+        }
     }
 
     #[test]

@@ -39,4 +39,5 @@ pub use ps_agreement as agreement;
 pub use ps_core as core;
 pub use ps_models as models;
 pub use ps_runtime as runtime;
+pub use ps_symmetry as symmetry;
 pub use ps_topology as topology;

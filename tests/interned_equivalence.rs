@@ -24,10 +24,17 @@ fn arb_complex(max_vert: u32, max_facets: usize) -> impl Strategy<Value = Comple
 }
 
 /// A random sorted id set, optionally shifted past 64 to force the
-/// `IdSimplex::Sorted` fallback representation.
+/// wider `IdSimplex` representations.
 fn arb_ids(shift: u32) -> impl Strategy<Value = BTreeSet<u32>> {
     prop::collection::btree_set(0u32..80, 1..=6usize)
         .prop_map(move |s| s.into_iter().map(|x| x + shift).collect())
+}
+
+/// A random id set drawn across all three `IdSimplex` tiers: ids from
+/// `0..160` hit the `Bits` (< 64), `Bits2` (< 128), and `Sorted`
+/// (≥ 128) representations, and mixed sets cross both boundaries.
+fn arb_tier_ids() -> impl Strategy<Value = BTreeSet<u32>> {
+    prop::collection::btree_set(0u32..160, 0..=8usize)
 }
 
 /// Interns `c` into a caller-supplied pool (mirroring what the façade
@@ -133,8 +140,43 @@ proptest! {
     }
 
     #[test]
+    fn id_simplex_tiers_agree_with_set_model(a in arb_tier_ids(), b in arb_tier_ids()) {
+        // every set operation must agree with the generic BTreeSet path
+        // regardless of which side of the 64/128 boundaries the ids land
+        let ia = IdSimplex::from_ids(a.iter().copied().collect());
+        let ib = IdSimplex::from_ids(b.iter().copied().collect());
+        let mk = |s: &BTreeSet<u32>| IdSimplex::from_ids(s.iter().copied().collect());
+        prop_assert_eq!(ia.len(), a.len());
+        prop_assert_eq!(ia.is_empty(), a.is_empty());
+        prop_assert_eq!(ia.ids().collect::<Vec<u32>>(), a.iter().copied().collect::<Vec<u32>>());
+        prop_assert_eq!(ia.union(&ib), mk(&a.union(&b).copied().collect()));
+        prop_assert_eq!(ia.intersection(&ib), mk(&a.intersection(&b).copied().collect()));
+        prop_assert_eq!(ia.is_face_of(&ib), a.is_subset(&b));
+        prop_assert_eq!(
+            ia.cmp(&ib),
+            a.iter().copied().collect::<Vec<u32>>().cmp(&b.iter().copied().collect::<Vec<u32>>())
+        );
+        for probe in [0u32, 63, 64, 127, 128, 159] {
+            prop_assert_eq!(ia.contains(probe), a.contains(&probe));
+            let mut without = a.clone();
+            without.remove(&probe);
+            prop_assert_eq!(ia.without(probe), mk(&without));
+            let mut with = a.clone();
+            with.insert(probe);
+            prop_assert_eq!(ia.with(probe), mk(&with));
+        }
+        // the representation is canonical for the id range
+        match a.iter().max() {
+            None => prop_assert!(matches!(ia, IdSimplex::Bits(0))),
+            Some(&m) if m < 64 => prop_assert!(matches!(ia, IdSimplex::Bits(_))),
+            Some(&m) if m < 128 => prop_assert!(matches!(ia, IdSimplex::Bits2(_))),
+            Some(_) => prop_assert!(matches!(ia, IdSimplex::Sorted(_))),
+        }
+    }
+
+    #[test]
     fn id_simplex_order_mirrors_label_order(a in arb_ids(0), b in arb_ids(40)) {
-        // 40-shift straddles the 64 boundary: mixes Bits and Sorted reps
+        // 40-shift straddles the 64 boundary: mixes Bits and Bits2 reps
         let ia = IdSimplex::from_ids(a.iter().copied().collect());
         let ib = IdSimplex::from_ids(b.iter().copied().collect());
         let sa = Simplex::from_iter(a);
