@@ -30,11 +30,20 @@ pub struct SweepOptions {
     /// instance groups in [`solvability_sweep_shared_opts`] so each
     /// isomorphism class is solved once.
     pub symmetry: bool,
+    /// Conflict-driven nogood learning in the solver (on by default):
+    /// explain dead ends, backjump over irrelevant decision levels, and
+    /// consult learned nogoods during propagation. Off falls back to
+    /// plain chronological backtracking — same verdicts, more search
+    /// (see [`crate::SolverConfig::learning`]).
+    pub learning: bool,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { symmetry: true }
+        SweepOptions {
+            symmetry: true,
+            learning: true,
+        }
     }
 }
 
@@ -257,8 +266,15 @@ fn attach_task_symmetries<V: crate::symmetry::SymmetricView>(
 }
 
 /// One solver run against a prepared instance.
-fn solve_one<V: Label>(instance: &PreparedInstance<V>, k: usize) -> SolvabilityResult {
-    let mut solver = DecisionMapSolver::new();
+fn solve_one<V: Label>(
+    instance: &PreparedInstance<V>,
+    k: usize,
+    learning: bool,
+) -> SolvabilityResult {
+    let mut solver = DecisionMapSolver::with_config(crate::SolverConfig {
+        learning,
+        ..crate::SolverConfig::default()
+    });
     let map = solver.solve_prepared(instance, AgreementConstraint::AtMostKDistinct(k));
     SolvabilityResult {
         solvable: map.is_some(),
@@ -270,25 +286,25 @@ fn solve_one<V: Label>(instance: &PreparedInstance<V>, k: usize) -> SolvabilityR
 /// Corollary 13 experiment: is r-round asynchronous k-set agreement
 /// solvable (as a decision map) for this instance?
 pub fn async_solvable(k: usize, f: usize, n_plus_1: usize, rounds: usize) -> SolvabilityResult {
-    async_solvable_opts(k, f, n_plus_1, rounds, true)
+    async_solvable_opts(k, f, n_plus_1, rounds, SweepOptions::default())
 }
 
-/// [`async_solvable`] with explicit control over symmetry exploitation
-/// (orbit branching in the solver).
+/// [`async_solvable`] with explicit [`SweepOptions`] (symmetry
+/// exploitation, nogood learning).
 pub fn async_solvable_opts(
     k: usize,
     f: usize,
     n_plus_1: usize,
     rounds: usize,
-    symmetry: bool,
+    opts: SweepOptions,
 ) -> SolvabilityResult {
     let task = KSetAgreement::canonical(k);
     let (pool, complex) = async_task_parts(&task.values, n_plus_1, f, rounds);
     let mut inst = PreparedInstance::from_interned(&pool, &complex, allowed_values);
-    if symmetry {
+    if opts.symmetry {
         attach_task_symmetries(&mut inst, &pool, &complex, n_plus_1, &task.values);
     }
-    solve_one(&inst, k)
+    solve_one(&inst, k, opts.learning)
 }
 
 /// Theorem 18 experiment: one row of the round sweep — is r-round
@@ -300,25 +316,25 @@ pub fn sync_solvable(
     k_per_round: usize,
     rounds: usize,
 ) -> SolvabilityResult {
-    sync_solvable_opts(k, f, n_plus_1, k_per_round, rounds, true)
+    sync_solvable_opts(k, f, n_plus_1, k_per_round, rounds, SweepOptions::default())
 }
 
-/// [`sync_solvable`] with explicit control over symmetry exploitation.
+/// [`sync_solvable`] with explicit [`SweepOptions`].
 pub fn sync_solvable_opts(
     k: usize,
     f: usize,
     n_plus_1: usize,
     k_per_round: usize,
     rounds: usize,
-    symmetry: bool,
+    opts: SweepOptions,
 ) -> SolvabilityResult {
     let task = KSetAgreement::canonical(k);
     let (pool, complex) = sync_task_parts(&task.values, n_plus_1, k_per_round, f, rounds);
     let mut inst = PreparedInstance::from_interned(&pool, &complex, allowed_values);
-    if symmetry {
+    if opts.symmetry {
         attach_task_symmetries(&mut inst, &pool, &complex, n_plus_1, &task.values);
     }
-    solve_one(&inst, k)
+    solve_one(&inst, k, opts.learning)
 }
 
 /// Lemma 21 / Corollary 22 side experiment: is r-round semi-synchronous
@@ -331,11 +347,18 @@ pub fn semisync_solvable(
     microrounds: u32,
     rounds: usize,
 ) -> SolvabilityResult {
-    semisync_solvable_opts(k, f, n_plus_1, k_per_round, microrounds, rounds, true)
+    semisync_solvable_opts(
+        k,
+        f,
+        n_plus_1,
+        k_per_round,
+        microrounds,
+        rounds,
+        SweepOptions::default(),
+    )
 }
 
-/// [`semisync_solvable`] with explicit control over symmetry
-/// exploitation.
+/// [`semisync_solvable`] with explicit [`SweepOptions`].
 pub fn semisync_solvable_opts(
     k: usize,
     f: usize,
@@ -343,16 +366,16 @@ pub fn semisync_solvable_opts(
     k_per_round: usize,
     microrounds: u32,
     rounds: usize,
-    symmetry: bool,
+    opts: SweepOptions,
 ) -> SolvabilityResult {
     let task = KSetAgreement::canonical(k);
     let (pool, complex) =
         semisync_task_parts(&task.values, n_plus_1, k_per_round, f, microrounds, rounds);
     let mut inst = PreparedInstance::from_interned(&pool, &complex, allowed_values_ss);
-    if symmetry {
+    if opts.symmetry {
         attach_task_symmetries(&mut inst, &pool, &complex, n_plus_1, &task.values);
     }
-    solve_one(&inst, k)
+    solve_one(&inst, k, opts.learning)
 }
 
 /// One `(model, n, r, k, f)` grid point of a solvability sweep.
@@ -498,26 +521,26 @@ impl SweepPoint {
 
     /// Runs this grid point's solver (serially, in the calling thread).
     pub fn run(&self) -> SolvabilityResult {
-        self.run_opts(true)
+        self.run_opts(SweepOptions::default())
     }
 
-    /// [`SweepPoint::run`] with explicit control over symmetry
-    /// exploitation (orbit branching).
-    pub fn run_opts(&self, symmetry: bool) -> SolvabilityResult {
+    /// [`SweepPoint::run`] with explicit [`SweepOptions`] (symmetry
+    /// exploitation, nogood learning).
+    pub fn run_opts(&self, opts: SweepOptions) -> SolvabilityResult {
         match *self {
             SweepPoint::Async {
                 k,
                 f,
                 n_plus_1,
                 rounds,
-            } => async_solvable_opts(k, f, n_plus_1, rounds, symmetry),
+            } => async_solvable_opts(k, f, n_plus_1, rounds, opts),
             SweepPoint::Sync {
                 k,
                 f,
                 n_plus_1,
                 k_per_round,
                 rounds,
-            } => sync_solvable_opts(k, f, n_plus_1, k_per_round, rounds, symmetry),
+            } => sync_solvable_opts(k, f, n_plus_1, k_per_round, rounds, opts),
             SweepPoint::SemiSync {
                 k,
                 f,
@@ -525,7 +548,7 @@ impl SweepPoint {
                 k_per_round,
                 microrounds,
                 rounds,
-            } => semisync_solvable_opts(k, f, n_plus_1, k_per_round, microrounds, rounds, symmetry),
+            } => semisync_solvable_opts(k, f, n_plus_1, k_per_round, microrounds, rounds, opts),
         }
     }
 }
@@ -546,7 +569,7 @@ pub fn solvability_sweep_opts(
     threads: usize,
     opts: SweepOptions,
 ) -> Vec<SolvabilityResult> {
-    ps_topology::parallel::parallel_map(points, threads, |_, p| p.run_opts(opts.symmetry))
+    ps_topology::parallel::parallel_map(points, threads, |_, p| p.run_opts(opts))
 }
 
 /// [`solvability_sweep`] with the globally configured thread count
@@ -596,10 +619,16 @@ impl PreparedGroup {
         }
     }
 
-    fn solve_ks(&self, ks: &[usize]) -> Vec<(usize, SolvabilityResult)> {
+    fn solve_ks(&self, ks: &[usize], learning: bool) -> Vec<(usize, SolvabilityResult)> {
         match self {
-            PreparedGroup::Viewed(inst) => ks.iter().map(|&k| (k, solve_one(inst, k))).collect(),
-            PreparedGroup::SsViewed(inst) => ks.iter().map(|&k| (k, solve_one(inst, k))).collect(),
+            PreparedGroup::Viewed(inst) => ks
+                .iter()
+                .map(|&k| (k, solve_one(inst, k, learning)))
+                .collect(),
+            PreparedGroup::SsViewed(inst) => ks
+                .iter()
+                .map(|&k| (k, solve_one(inst, k, learning)))
+                .collect(),
         }
     }
 }
@@ -731,7 +760,7 @@ pub fn solvability_sweep_shared_opts(
         .collect();
     let solved: Vec<Vec<(usize, SolvabilityResult)>> =
         ps_topology::parallel::parallel_map(&solve_jobs, threads, |_, (rep, ks)| {
-            built[*rep].solve_ks(ks)
+            built[*rep].solve_ks(ks, opts.learning)
         });
 
     // Scatter: replay each class's verdicts to every member point.
@@ -974,7 +1003,10 @@ mod tests {
         }
         let serial: Vec<_> = points.iter().map(SweepPoint::run).collect();
         for symmetry in [true, false] {
-            let opts = SweepOptions { symmetry };
+            let opts = SweepOptions {
+                symmetry,
+                ..SweepOptions::default()
+            };
             for threads in [1, 3] {
                 let shared = solvability_sweep_shared_opts(&points, threads, opts);
                 for (i, (s, c)) in shared.iter().zip(&serial).enumerate() {
@@ -993,21 +1025,40 @@ mod tests {
     }
 
     #[test]
-    fn solvable_opts_symmetry_off_matches_default() {
-        // orbit branching must never change a verdict
-        for (k, f) in [(1usize, 1usize), (2, 1), (2, 2)] {
-            let on = async_solvable(k, f, 3, 1);
-            let off = async_solvable_opts(k, f, 3, 1, false);
-            assert_eq!(on, off, "async k={k} f={f}");
+    fn solvable_opts_toggles_match_default() {
+        // neither orbit branching nor nogood learning may change a
+        // verdict, alone or combined
+        let configs = [
+            SweepOptions {
+                symmetry: false,
+                ..SweepOptions::default()
+            },
+            SweepOptions {
+                learning: false,
+                ..SweepOptions::default()
+            },
+            SweepOptions {
+                symmetry: false,
+                learning: false,
+            },
+        ];
+        for opts in configs {
+            for (k, f) in [(1usize, 1usize), (2, 1), (2, 2)] {
+                let on = async_solvable(k, f, 3, 1);
+                let off = async_solvable_opts(k, f, 3, 1, opts);
+                assert_eq!(on, off, "async k={k} f={f} {opts:?}");
+            }
+            assert_eq!(
+                sync_solvable(1, 1, 3, 1, 2),
+                sync_solvable_opts(1, 1, 3, 1, 2, opts),
+                "{opts:?}"
+            );
+            assert_eq!(
+                semisync_solvable(1, 1, 2, 1, 2, 1),
+                semisync_solvable_opts(1, 1, 2, 1, 2, 1, opts),
+                "{opts:?}"
+            );
         }
-        assert_eq!(
-            sync_solvable(1, 1, 3, 1, 2),
-            sync_solvable_opts(1, 1, 3, 1, 2, false)
-        );
-        assert_eq!(
-            semisync_solvable(1, 1, 2, 1, 2, 1),
-            semisync_solvable_opts(1, 1, 2, 1, 2, 1, false)
-        );
     }
 
     #[test]

@@ -24,6 +24,20 @@
 //! as call-stack recursion that overflowed default thread stacks, which
 //! is why CI runs this crate's suite under `RUST_MIN_STACK=262144`.
 //!
+//! The search is **conflict-driven** by default: every dead end carries
+//! an [`Explanation`] — the set of decision levels implicated by the
+//! failed validity/agreement constraints — so instead of popping one
+//! frame the search *backjumps* to the deepest implicated level, and
+//! the explanation is recorded as a learned **nogood** in a bounded,
+//! activity-evicted store ([`NogoodStore`]) consulted during
+//! propagation. Refutations that leaned on orbit branching get the
+//! trivial explanation ⊤ and retreat chronologically without learning,
+//! which keeps every recorded nogood a symmetry-independent logical
+//! consequence of the instance (see [`Frame::cover_orbit`]).
+//! `SolverConfig { learning: false, .. }` switches all of this off and
+//! restores the plain chronological search bit for bit — the oracle
+//! equivalence proptest below pins that.
+//!
 //! Repeated solves over one complex (the k-sweep of an instance) should
 //! go through [`PreparedInstance`]: the interning, facet indexing, and
 //! validity-domain extraction happen once and every
@@ -47,6 +61,18 @@ pub struct SolverStats {
     /// Candidate values skipped by orbit branching because they were
     /// symmetric to an already-refuted candidate.
     pub orbit_skips: usize,
+    /// Conflict-driven retreats that jumped over at least one decision
+    /// level (a retreat of exactly one level is an ordinary backtrack).
+    pub backjumps: usize,
+    /// Nogoods recorded by conflict analysis (bounded by the store
+    /// capacity at any instant, but counting every recording).
+    pub learned_nogoods: usize,
+    /// Times a learned nogood fired during propagation — either
+    /// pruning the single unassigned value of a unit nogood or
+    /// detecting a fully matched one as a conflict.
+    pub nogood_hits: usize,
+    /// Longest single conflict-driven retreat, in decision levels.
+    pub max_jump: usize,
 }
 
 /// The per-simplex agreement condition the decision map must satisfy.
@@ -76,6 +102,16 @@ pub struct SolverConfig {
     /// the instance has symmetries attached — see
     /// [`PreparedInstance::attach_symmetries`]).
     pub orbit_branching: bool,
+    /// Conflict-driven search (on by default): explain every dead end
+    /// by the decision levels it implicates, backjump to the deepest
+    /// implicated level, and record the explanation as a learned
+    /// nogood consulted during propagation. Off restores the plain
+    /// chronological search with identical statistics.
+    pub learning: bool,
+    /// Capacity of the learned-nogood store; when full, the
+    /// lowest-activity half is evicted so memory stays flat on long
+    /// sweeps. Ignored when `learning` is off.
+    pub nogood_cap: usize,
 }
 
 impl Default for SolverConfig {
@@ -83,6 +119,8 @@ impl Default for SolverConfig {
         SolverConfig {
             forward_checking: true,
             orbit_branching: true,
+            learning: true,
+            nogood_cap: 4096,
         }
     }
 }
@@ -92,6 +130,9 @@ impl Default for SolverConfig {
 pub struct DecisionMapSolver {
     stats: SolverStats,
     config: SolverConfig,
+    /// Nogoods recorded by the last solve (see
+    /// [`DecisionMapSolver::learned_nogoods`]).
+    last_nogoods: Vec<Vec<(u32, u64)>>,
 }
 
 /// A complex preprocessed for (repeated) solver runs: the facet index
@@ -168,6 +209,12 @@ impl<V: Label> PreparedInstance<V> {
     /// Number of vertices.
     pub fn vertex_count(&self) -> usize {
         self.vertices.len()
+    }
+
+    /// The vertex labels in dense-index order — index `i` is the vertex
+    /// that [`DecisionMapSolver::learned_nogoods`] calls `i`.
+    pub fn vertex_labels(&self) -> &[V] {
+        &self.vertices
     }
 
     /// Number of facets.
@@ -258,6 +305,113 @@ struct GenTrack {
     vflag: Vec<bool>,
 }
 
+/// A conflict explanation: which decision levels a refutation depends
+/// on. `Levels` is a sound implicant — the branching assignments at
+/// exactly those levels cannot all be extended to a decision map.
+/// `All` is the trivial explanation "the entire current prefix": used
+/// when learning is off, and whenever a refutation leaned on orbit
+/// branching, whose transport argument is conditioned on the whole
+/// partial assignment rather than any smaller implicant (see
+/// [`Frame::cover_orbit`]). `All` refutations retreat chronologically
+/// and are never recorded as nogoods — which is exactly what keeps
+/// every recorded nogood valid independently of the symmetry
+/// configuration it was learned under.
+#[derive(Clone, Debug)]
+enum Explanation {
+    /// The refutation implicates exactly these decision levels.
+    Levels(BTreeSet<u32>),
+    /// The refutation is only valid relative to the whole prefix.
+    All,
+}
+
+impl Explanation {
+    /// Combines two refutation reasons: the union of implicated levels,
+    /// absorbing to ⊤.
+    fn merge(&mut self, other: Explanation) {
+        match other {
+            Explanation::All => *self = Explanation::All,
+            Explanation::Levels(b) => {
+                if let Explanation::Levels(a) = self {
+                    a.extend(b);
+                }
+            }
+        }
+    }
+}
+
+/// Explanations longer than this are still used for backjumping but are
+/// too specific to be worth recording — they almost never fire again
+/// and would crowd the bounded store.
+const MAX_NOGOOD_LEN: usize = 24;
+
+/// A learned nogood: a set of `(vertex, value)` assignments proven
+/// jointly unextendable to any decision map of the instance, plus an
+/// activity counter driving eviction.
+#[derive(Clone, Debug)]
+struct Nogood {
+    pairs: Vec<(u32, u64)>,
+    activity: u64,
+}
+
+/// Bounded store of learned nogoods with activity-based eviction: when
+/// the store is full, the lowest-activity half is dropped (ties keep
+/// the older recording), so memory stays flat on long sweeps while hot
+/// nogoods survive. A per-vertex index supports unit consultation
+/// during propagation.
+#[derive(Debug, Default)]
+struct NogoodStore {
+    cap: usize,
+    items: Vec<Nogood>,
+    /// For each vertex, the store indices of the nogoods mentioning it
+    /// (rebuilt on eviction; eviction never runs mid-propagation).
+    by_vertex: Vec<Vec<u32>>,
+}
+
+impl NogoodStore {
+    fn new(cap: usize, vertices: usize) -> Self {
+        NogoodStore {
+            cap: cap.max(1),
+            items: Vec::new(),
+            by_vertex: vec![Vec::new(); vertices],
+        }
+    }
+
+    /// Records a nogood, evicting first when at capacity; returns
+    /// whether it was stored (empty or oversized sets are not).
+    fn insert(&mut self, pairs: Vec<(u32, u64)>) -> bool {
+        if pairs.is_empty() || pairs.len() > MAX_NOGOOD_LEN {
+            return false;
+        }
+        if self.items.len() >= self.cap {
+            self.evict();
+        }
+        let id = self.items.len() as u32;
+        for &(v, _) in &pairs {
+            self.by_vertex[v as usize].push(id);
+        }
+        self.items.push(Nogood { pairs, activity: 0 });
+        true
+    }
+
+    /// Drops the lowest-activity half and rebuilds the vertex index.
+    fn evict(&mut self) {
+        let mut order: Vec<usize> = (0..self.items.len()).collect();
+        // stable sort: among equal activities the older recording wins
+        order.sort_by_key(|&i| std::cmp::Reverse(self.items[i].activity));
+        order.truncate(self.cap.div_ceil(2));
+        order.sort_unstable(); // survivors back in recording order
+        self.items = order.into_iter().map(|i| self.items[i].clone()).collect();
+        for list in &mut self.by_vertex {
+            list.clear();
+        }
+        for (id, ng) in self.items.iter().enumerate() {
+            for &(v, _) in &ng.pairs {
+                self.by_vertex[v as usize].push(id as u32);
+            }
+        }
+    }
+}
+
 struct SearchState<'a> {
     /// Current domain of each vertex (singleton = assigned or forced).
     domains: Vec<BTreeSet<u64>>,
@@ -275,10 +429,35 @@ struct SearchState<'a> {
     gens: Vec<GenTrack>,
     /// For each vertex, the generators whose `σ` fixes it.
     fixing: Vec<Vec<usize>>,
+    /// Conflict-driven machinery below — inert when `learning` is off
+    /// (the learning-off search is bit-identical to the chronological
+    /// one, statistics included).
+    learning: bool,
+    /// Decision level at which each assigned vertex got its value.
+    level_of: Vec<u32>,
+    /// Whether the vertex was branched on (true) or forced (false).
+    /// Stale entries are never read: both tables are consulted only
+    /// while the vertex is assigned.
+    is_decision: Vec<bool>,
+    /// Per-vertex cumulative explanation: the decision levels
+    /// implicated in every value removed from the vertex's domain so
+    /// far (a sound over-approximation in the style of
+    /// conflict-directed backjumping; restored through the trail).
+    expl: Vec<BTreeSet<u32>>,
+    /// Bounded store of learned nogoods.
+    store: NogoodStore,
 }
 
-/// Undo log entry: vertex index, removed values.
-type Trail = Vec<(usize, BTreeSet<u64>)>;
+/// Undo log entry: an empty `removed` set marks a forced assignment to
+/// retract; otherwise the domain values (and the explanation levels, if
+/// learning) to restore on vertex `w`.
+struct TrailEntry {
+    w: usize,
+    removed: BTreeSet<u64>,
+    expl_added: Vec<u32>,
+}
+
+type Trail = Vec<TrailEntry>;
 
 impl SearchState<'_> {
     /// Records `assigned[w] = Some(val)` and updates every generator's
@@ -328,9 +507,143 @@ impl SearchState<'_> {
         }
     }
 
-    /// Assigns `val` to `vi` and forward-checks; returns the undo trail
-    /// or `None` on wipe-out.
-    fn assign(&mut self, vi: usize, val: u64, stats: &mut SolverStats) -> Option<Trail> {
+    /// Accumulates the decision levels explaining vertex `u`'s current
+    /// assignment: the level itself for a branched vertex, the levels
+    /// implicated in the domain removals that forced it otherwise.
+    fn levels_into(&self, u: usize, out: &mut BTreeSet<u32>) {
+        if self.is_decision[u] {
+            out.insert(self.level_of[u]);
+        } else {
+            out.extend(self.expl[u].iter().copied());
+        }
+    }
+
+    /// Explains a violated facet: the decision levels behind a small
+    /// set of assigned vertices that already contradict the constraint
+    /// by themselves — one holder per distinct value for
+    /// `AtMostKDistinct`, a duplicated pair for `AllDistinct`, the two
+    /// extremes for `MaxRange`. `trigger` (the vertex whose assignment
+    /// prompted the re-check) is preferred as the holder of its own
+    /// value so explanations stay tight.
+    fn explain_violation(&self, fi: usize, trigger: usize) -> BTreeSet<u32> {
+        let mut out = BTreeSet::new();
+        let tval = self.assigned[trigger].expect("trigger is assigned");
+        match self.constraint {
+            AgreementConstraint::AtMostKDistinct(_) => {
+                let mut seen: BTreeSet<u64> = BTreeSet::new();
+                seen.insert(tval);
+                self.levels_into(trigger, &mut out);
+                for &w in &self.facets[fi] {
+                    if let Some(x) = self.assigned[w] {
+                        if seen.insert(x) {
+                            self.levels_into(w, &mut out);
+                        }
+                    }
+                }
+            }
+            AgreementConstraint::AllDistinct => {
+                let mut holder: BTreeMap<u64, usize> = BTreeMap::new();
+                holder.insert(tval, trigger);
+                for &w in &self.facets[fi] {
+                    if w == trigger {
+                        continue;
+                    }
+                    if let Some(x) = self.assigned[w] {
+                        if let Some(&w0) = holder.get(&x) {
+                            self.levels_into(w0, &mut out);
+                            self.levels_into(w, &mut out);
+                            return out;
+                        }
+                        holder.insert(x, w);
+                    }
+                }
+                // unreachable in practice: the caller saw a duplicate
+                self.levels_into(trigger, &mut out);
+            }
+            AgreementConstraint::MaxRange(_) => {
+                let mut lo = (tval, trigger);
+                let mut hi = (tval, trigger);
+                for &w in &self.facets[fi] {
+                    if let Some(x) = self.assigned[w] {
+                        if x < lo.0 {
+                            lo = (x, w);
+                        }
+                        if x > hi.0 {
+                            hi = (x, w);
+                        }
+                    }
+                }
+                self.levels_into(lo.1, &mut out);
+                self.levels_into(hi.1, &mut out);
+            }
+        }
+        out
+    }
+
+    /// The decision levels justifying a forward-checking prune through
+    /// facet `fi`: the assigned vertices whose values saturate the
+    /// facet (one holder per distinct value), or the extremes defining
+    /// the `MaxRange` window — the prune is implied by those
+    /// assignments alone.
+    fn explain_prune(&self, fi: usize) -> BTreeSet<u32> {
+        let mut out = BTreeSet::new();
+        match self.constraint {
+            AgreementConstraint::AtMostKDistinct(_) | AgreementConstraint::AllDistinct => {
+                let mut seen: BTreeSet<u64> = BTreeSet::new();
+                for &w in &self.facets[fi] {
+                    if let Some(x) = self.assigned[w] {
+                        if seen.insert(x) {
+                            self.levels_into(w, &mut out);
+                        }
+                    }
+                }
+            }
+            AgreementConstraint::MaxRange(_) => {
+                let mut lo: Option<(u64, usize)> = None;
+                let mut hi: Option<(u64, usize)> = None;
+                for &w in &self.facets[fi] {
+                    if let Some(x) = self.assigned[w] {
+                        if lo.is_none_or(|(y, _)| x < y) {
+                            lo = Some((x, w));
+                        }
+                        if hi.is_none_or(|(y, _)| x > y) {
+                            hi = Some((x, w));
+                        }
+                    }
+                }
+                if let (Some((_, wl)), Some((_, wh))) = (lo, hi) {
+                    self.levels_into(wl, &mut out);
+                    self.levels_into(wh, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Merges `reason` into `expl[w]`, returning the levels actually
+    /// added (for trail-based restoration).
+    fn note_expl(&mut self, w: usize, reason: &BTreeSet<u32>) -> Vec<u32> {
+        let mut added = Vec::new();
+        for &l in reason {
+            if self.expl[w].insert(l) {
+                added.push(l);
+            }
+        }
+        added
+    }
+
+    /// Assigns `val` to `vi` at decision level `level` and propagates
+    /// (facet checks, forward checking, learned-nogood consultation);
+    /// returns the undo trail, or — with the search state fully
+    /// restored — the conflict [`Explanation`] of the wipe-out or
+    /// violation that was hit.
+    fn assign(
+        &mut self,
+        vi: usize,
+        val: u64,
+        level: u32,
+        stats: &mut SolverStats,
+    ) -> Result<Trail, Explanation> {
         // Copy the shared facet-index refs out of `self` so the loops
         // below can iterate them while `self.domains` is mutated.
         let facets = self.facets;
@@ -343,9 +656,17 @@ impl SearchState<'_> {
             .collect();
         if !removed.is_empty() {
             self.domains[vi] = [val].into_iter().collect();
-            trail.push((vi, removed));
+            trail.push(TrailEntry {
+                w: vi,
+                removed,
+                expl_added: Vec::new(),
+            });
         }
         self.set_assigned(vi, val);
+        if self.learning {
+            self.level_of[vi] = level;
+            self.is_decision[vi] = true;
+        }
 
         // queue of vertices whose assignment may trigger facet pruning
         let mut queue = vec![vi];
@@ -373,9 +694,14 @@ impl SearchState<'_> {
                     }
                 };
                 if violated {
+                    let expl = if self.learning {
+                        Explanation::Levels(self.explain_violation(fi, v))
+                    } else {
+                        Explanation::All
+                    };
                     self.undo(&trail);
                     self.clear_assigned(vi);
-                    return None;
+                    return Err(expl);
                 }
                 if !self.forward_checking {
                     continue;
@@ -407,6 +733,13 @@ impl SearchState<'_> {
                 let Some((keep_only, value_set)) = prune else {
                     continue;
                 };
+                // one reason serves every prune through this facet: the
+                // restriction is implied by the saturating assignments
+                let reason: Option<BTreeSet<u32>> = if self.learning {
+                    Some(self.explain_prune(fi))
+                } else {
+                    None
+                };
                 for &w in &facets[fi] {
                     if self.assigned[w].is_some() {
                         continue;
@@ -423,34 +756,158 @@ impl SearchState<'_> {
                     for x in &removed {
                         self.domains[w].remove(x);
                     }
-                    trail.push((w, removed));
+                    let expl_added = match &reason {
+                        Some(r) => self.note_expl(w, r),
+                        None => Vec::new(),
+                    };
+                    trail.push(TrailEntry {
+                        w,
+                        removed,
+                        expl_added,
+                    });
                     match self.domains[w].len() {
                         0 => {
+                            let expl = if self.learning {
+                                Explanation::Levels(self.expl[w].clone())
+                            } else {
+                                Explanation::All
+                            };
                             self.undo(&trail);
                             self.clear_assigned(vi);
-                            return None;
+                            return Err(expl);
                         }
                         1 => {
                             // forced: treat as assigned and propagate
                             let forced = *self.domains[w].first().unwrap();
                             self.set_assigned(w, forced);
-                            trail.push((w, BTreeSet::new())); // marker for unassign
+                            if self.learning {
+                                self.level_of[w] = level;
+                                self.is_decision[w] = false;
+                            }
+                            trail.push(TrailEntry {
+                                w,
+                                removed: BTreeSet::new(), // marker for unassign
+                                expl_added: Vec::new(),
+                            });
                             queue.push(w);
                         }
                         _ => {}
                     }
                 }
             }
+            if self.learning {
+                if let Err(expl) = self.consult_nogoods(v, level, &mut trail, &mut queue, stats) {
+                    self.undo(&trail);
+                    self.clear_assigned(vi);
+                    return Err(expl);
+                }
+            }
         }
-        Some(trail)
+        Ok(trail)
+    }
+
+    /// Unit consultation of the learned-nogood store after `v` was
+    /// assigned. A nogood whose other pairs all hold under the current
+    /// assignment either prunes its one unassigned value (possibly
+    /// forcing the vertex) or, when fully matched, is itself the
+    /// conflict — the current prefix contains an assignment set already
+    /// proven unextendable.
+    fn consult_nogoods(
+        &mut self,
+        v: usize,
+        level: u32,
+        trail: &mut Trail,
+        queue: &mut Vec<usize>,
+        stats: &mut SolverStats,
+    ) -> Result<(), Explanation> {
+        let ids: Vec<u32> = self.store.by_vertex[v].clone();
+        for id in ids {
+            let ng = &self.store.items[id as usize];
+            let mut unit: Option<(usize, u64)> = None;
+            let mut disabled = false;
+            for &(u, a) in &ng.pairs {
+                match self.assigned[u as usize] {
+                    Some(x) if x == a => {}
+                    Some(_) => {
+                        disabled = true;
+                        break;
+                    }
+                    None => {
+                        if unit.is_some() {
+                            disabled = true;
+                            break;
+                        }
+                        unit = Some((u as usize, a));
+                    }
+                }
+            }
+            if disabled {
+                continue;
+            }
+            match unit {
+                None => {
+                    // fully matched: conflict, explained by the levels
+                    // behind every pair of the nogood
+                    stats.nogood_hits += 1;
+                    self.store.items[id as usize].activity += 1;
+                    let pairs = self.store.items[id as usize].pairs.clone();
+                    let mut out = BTreeSet::new();
+                    for (u, _) in pairs {
+                        self.levels_into(u as usize, &mut out);
+                    }
+                    return Err(Explanation::Levels(out));
+                }
+                Some((u, a)) => {
+                    if !self.domains[u].contains(&a) {
+                        continue; // already pruned by something else
+                    }
+                    stats.nogood_hits += 1;
+                    self.store.items[id as usize].activity += 1;
+                    let pairs = self.store.items[id as usize].pairs.clone();
+                    let mut reason = BTreeSet::new();
+                    for &(w2, _) in &pairs {
+                        if w2 as usize != u {
+                            self.levels_into(w2 as usize, &mut reason);
+                        }
+                    }
+                    self.domains[u].remove(&a);
+                    let expl_added = self.note_expl(u, &reason);
+                    trail.push(TrailEntry {
+                        w: u,
+                        removed: [a].into_iter().collect(),
+                        expl_added,
+                    });
+                    match self.domains[u].len() {
+                        0 => return Err(Explanation::Levels(self.expl[u].clone())),
+                        1 => {
+                            let forced = *self.domains[u].first().unwrap();
+                            self.set_assigned(u, forced);
+                            self.level_of[u] = level;
+                            self.is_decision[u] = false;
+                            trail.push(TrailEntry {
+                                w: u,
+                                removed: BTreeSet::new(),
+                                expl_added: Vec::new(),
+                            });
+                            queue.push(u);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn undo(&mut self, trail: &Trail) {
-        for (w, removed) in trail.iter().rev() {
-            if removed.is_empty() {
-                self.clear_assigned(*w);
+        for entry in trail.iter().rev() {
+            if entry.removed.is_empty() {
+                self.clear_assigned(entry.w);
             } else {
-                self.domains[*w].extend(removed.iter().copied());
+                self.domains[entry.w].extend(entry.removed.iter().copied());
+                for l in &entry.expl_added {
+                    self.expl[entry.w].remove(l);
+                }
             }
         }
     }
@@ -471,6 +928,15 @@ struct Frame {
     /// its orbit under the generators that stabilized the partial
     /// assignment when the refutation completed (orbit branching).
     covered: Vec<u64>,
+    /// Accumulated explanation for this frame's eventual exhaustion:
+    /// seeded with the reasons for the values already missing from
+    /// `vi`'s domain when the frame opened, then merged with every
+    /// refuted candidate's explanation. Degrades to ⊤ as soon as orbit
+    /// branching skips a candidate — a skipped value's refutation is
+    /// transported along symmetries of the *whole* prefix, so no
+    /// smaller implicant exists and the frame must neither backjump
+    /// nor learn (see [`Explanation`]).
+    conflict: Explanation,
 }
 
 impl Frame {
@@ -481,6 +947,11 @@ impl Frame {
             next: 0,
             trail: None,
             covered: Vec::new(),
+            conflict: if state.learning {
+                Explanation::Levels(state.expl[vi].clone())
+            } else {
+                Explanation::All
+            },
         }
     }
 
@@ -545,12 +1016,25 @@ impl DecisionMapSolver {
         DecisionMapSolver {
             stats: SolverStats::default(),
             config,
+            last_nogoods: Vec::new(),
         }
     }
 
     /// Statistics from the last `solve` call.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// The nogoods recorded by the last solve, as `(vertex index,
+    /// value)` assignment sets over the prepared instance's dense
+    /// vertex indexing (see [`PreparedInstance::vertex_labels`]). Each
+    /// is a machine-checked lemma — *no* decision map of the instance
+    /// contains all of its assignments — independent of the symmetry
+    /// and learning configuration it was derived under, which is what
+    /// the differential suite exploits: every witness, from any
+    /// configuration, is checked against every learned nogood.
+    pub fn learned_nogoods(&self) -> &[Vec<(u32, u64)>] {
+        &self.last_nogoods
     }
 
     /// Searches for a decision map on `complex` where each vertex `v` may
@@ -637,17 +1121,36 @@ impl DecisionMapSolver {
                 }
             }
         }
+        let n = instance.vertices.len();
         let mut state = SearchState {
             domains: instance.domains.clone(),
-            assigned: vec![None; instance.vertices.len()],
+            assigned: vec![None; n],
             facets: &instance.facets,
             facets_of: &instance.facets_of,
             constraint,
             forward_checking: self.config.forward_checking,
             gens,
             fixing,
+            learning: self.config.learning,
+            level_of: vec![0; n],
+            is_decision: vec![false; n],
+            expl: vec![BTreeSet::new(); n],
+            store: NogoodStore::new(self.config.nogood_cap, n),
         };
-        if self.backtrack(&mut state) {
+        let solved = self.backtrack(&mut state);
+        self.last_nogoods = state
+            .store
+            .items
+            .iter()
+            .map(|ng| ng.pairs.clone())
+            .collect();
+        if solved {
+            debug_assert!(
+                self.last_nogoods.iter().all(|ng| ng
+                    .iter()
+                    .any(|&(v, a)| state.assigned[v as usize] != Some(a))),
+                "a learned nogood contradicts the accepted witness"
+            );
             Some(
                 instance
                     .vertices
@@ -674,12 +1177,21 @@ impl DecisionMapSolver {
             })
     }
 
-    /// Complete backtracking search with an **explicit frame stack**:
-    /// one heap-allocated [`Frame`] per branched vertex, so the search
-    /// depth (up to the vertex count of the complex) is bounded by
-    /// memory, not by the thread stack. The candidate order, pruning,
-    /// and statistics are exactly those of the call-stack recursion it
-    /// replaced (kept as a `#[cfg(test)]` oracle below).
+    /// Complete conflict-driven search with an **explicit frame
+    /// stack**: one heap-allocated [`Frame`] per branched vertex, so
+    /// the search depth (up to the vertex count of the complex) is
+    /// bounded by memory, not by the thread stack.
+    ///
+    /// With learning off the loop is exactly the chronological search —
+    /// same candidate order, pruning, and statistics as the recursive
+    /// oracle below (the equivalence proptest pins that). With learning
+    /// on (the default), an exhausted frame's accumulated
+    /// [`Explanation`] drives conflict analysis: the implicated
+    /// decision assignments are recorded as a nogood, the search jumps
+    /// straight back to the deepest implicated level (retracting the
+    /// levels in between wholesale — their re-enumeration is what
+    /// chronological search wastes time on), and the remaining levels
+    /// become part of the target frame's own explanation.
     fn backtrack(&mut self, state: &mut SearchState<'_>) -> bool {
         let mut stack: Vec<Frame> = Vec::new();
         match Self::select(state) {
@@ -687,6 +1199,8 @@ impl DecisionMapSolver {
             Some(vi) => stack.push(Frame::open(vi, state)),
         }
         loop {
+            // the frame on top of the stack sits at this decision level
+            let level = stack.len().wrapping_sub(1);
             let Some(frame) = stack.last_mut() else {
                 return false; // every branch of the root exhausted
             };
@@ -708,35 +1222,102 @@ impl DecisionMapSolver {
                 frame.next += 1;
                 if frame.covered.contains(&val) {
                     self.stats.orbit_skips += 1;
+                    frame.conflict.merge(Explanation::All);
                     continue;
                 }
                 self.stats.assignments += 1;
-                if let Some(trail) = state.assign(frame.vi, val, &mut self.stats) {
-                    frame.trail = Some(trail);
-                    descended = true;
-                    break;
+                match state.assign(frame.vi, val, level as u32, &mut self.stats) {
+                    Ok(trail) => {
+                        frame.trail = Some(trail);
+                        descended = true;
+                        break;
+                    }
+                    Err(mut expl) => {
+                        self.stats.backtracks += 1;
+                        frame.cover_orbit(state, val);
+                        // the candidate's refutation conditioned on this
+                        // frame's own level explains only the candidate,
+                        // not the levels above it
+                        if let Explanation::Levels(s) = &mut expl {
+                            s.remove(&(level as u32));
+                        }
+                        frame.conflict.merge(expl);
+                    }
                 }
-                self.stats.backtracks += 1;
-                frame.cover_orbit(state, val);
             }
-            if !descended {
-                stack.pop();
+            if descended {
+                match Self::select(state) {
+                    None => return true, // all assigned: a witness
+                    Some(vi) => stack.push(Frame::open(vi, state)),
+                }
                 continue;
             }
-            match Self::select(state) {
-                None => return true, // all assigned: the stack holds a witness
-                Some(vi) => stack.push(Frame::open(vi, state)),
+            // dead end: every candidate refuted or skipped — analyze
+            let exhausted = stack.pop().expect("a frame was on the stack");
+            match exhausted.conflict {
+                Explanation::All => {
+                    // chronological retreat; the parent's subtree
+                    // refutation inherits "no explanation"
+                    if let Some(parent) = stack.last_mut() {
+                        parent.conflict.merge(Explanation::All);
+                    }
+                }
+                Explanation::Levels(mut set) => {
+                    let level = stack.len(); // the exhausted frame's level
+                    debug_assert!(
+                        set.iter().all(|&l| (l as usize) < level),
+                        "explanations only implicate earlier levels"
+                    );
+                    // record the lemma: the implicated decision
+                    // assignments are jointly unextendable
+                    let pairs: Vec<(u32, u64)> = set
+                        .iter()
+                        .map(|&j| {
+                            let v = stack[j as usize].vi;
+                            (v as u32, state.assigned[v].expect("decision is assigned"))
+                        })
+                        .collect();
+                    if state.store.insert(pairs) {
+                        self.stats.learned_nogoods += 1;
+                    }
+                    let Some(&target) = set.iter().next_back() else {
+                        // no decision implicated: unsolvable outright
+                        return false;
+                    };
+                    let target = target as usize;
+                    let jump = level - target;
+                    self.stats.max_jump = self.stats.max_jump.max(jump);
+                    if jump > 1 {
+                        self.stats.backjumps += 1;
+                    }
+                    // retract the levels the conflict proved irrelevant
+                    // (no `backtracks` tick: their candidates are not
+                    // being advanced, the whole levels just vanish)
+                    while stack.len() > target + 1 {
+                        let mut skipped = stack.pop().expect("target < stack.len()");
+                        if let Some(trail) = skipped.trail.take() {
+                            state.undo(&trail);
+                            state.clear_assigned(skipped.vi);
+                        }
+                    }
+                    // the target frame's current candidate is refuted
+                    // under the remaining implicated levels; its open
+                    // trail is retracted by re-entry above
+                    set.remove(&(target as u32));
+                    let parent = stack.last_mut().expect("jump target exists");
+                    parent.conflict.merge(Explanation::Levels(set));
+                }
             }
         }
     }
 
     /// The recursive reference implementation the iterative
-    /// [`DecisionMapSolver::backtrack`] replaced. Kept as a test oracle:
-    /// the equivalence proptest asserts identical verdicts *and*
-    /// identical statistics on random instances. Never call this on
-    /// large complexes — its search depth is the vertex count and it
-    /// WILL overflow small thread stacks (that being the point).
-    #[cfg(test)]
+    /// [`DecisionMapSolver::backtrack`] replaced. Kept as a test
+    /// oracle: the equivalence proptest asserts identical verdicts
+    /// *and* identical statistics against the learning-off iterative
+    /// search on random instances. Never call this on large complexes —
+    /// its search depth is the vertex count and it WILL overflow small
+    /// thread stacks (that being the point).
     fn backtrack_recursive(&mut self, state: &mut SearchState<'_>) -> bool {
         let Some(vi) = Self::select(state) else {
             return true; // all assigned
@@ -744,7 +1325,7 @@ impl DecisionMapSolver {
         let candidates: Vec<u64> = state.domains[vi].iter().copied().collect();
         for val in candidates {
             self.stats.assignments += 1;
-            if let Some(trail) = state.assign(vi, val, &mut self.stats) {
+            if let Ok(trail) = state.assign(vi, val, 0, &mut self.stats) {
                 if self.backtrack_recursive(state) {
                     return true;
                 }
@@ -756,32 +1337,43 @@ impl DecisionMapSolver {
         false
     }
 
-    /// [`DecisionMapSolver::solve_with`] running on the recursive
-    /// oracle instead of the iterative search.
-    #[cfg(test)]
-    fn solve_with_recursive<V: Label>(
+    /// [`DecisionMapSolver::solve_prepared`] running on the recursive
+    /// chronological oracle instead of the iterative conflict-driven
+    /// search — no learning, no orbit branching, call-stack recursion.
+    ///
+    /// Exposed (hidden) so the differential integration suite can
+    /// cross-check the production search against it; it is not part of
+    /// the supported API and overflows small thread stacks on large
+    /// complexes by design.
+    #[doc(hidden)]
+    pub fn solve_prepared_recursive_oracle<V: Label>(
         &mut self,
-        complex: &Complex<V>,
-        allowed: impl FnMut(&V) -> BTreeSet<u64>,
+        instance: &PreparedInstance<V>,
         constraint: AgreementConstraint,
     ) -> Option<BTreeMap<V, u64>> {
-        let instance = PreparedInstance::new(complex, allowed);
         self.stats = SolverStats::default();
+        self.last_nogoods.clear();
         if instance.vertices.is_empty() {
             return Some(BTreeMap::new());
         }
         if instance.domains.iter().any(|d| d.is_empty()) {
             return None;
         }
+        let n = instance.vertices.len();
         let mut state = SearchState {
             domains: instance.domains.clone(),
-            assigned: vec![None; instance.vertices.len()],
+            assigned: vec![None; n],
             facets: &instance.facets,
             facets_of: &instance.facets_of,
             constraint,
             forward_checking: self.config.forward_checking,
             gens: Vec::new(),
-            fixing: vec![Vec::new(); instance.vertices.len()],
+            fixing: vec![Vec::new(); n],
+            learning: false,
+            level_of: vec![0; n],
+            is_decision: vec![false; n],
+            expl: vec![BTreeSet::new(); n],
+            store: NogoodStore::new(1, n),
         };
         if self.backtrack_recursive(&mut state) {
             Some(
@@ -795,6 +1387,19 @@ impl DecisionMapSolver {
         } else {
             None
         }
+    }
+
+    /// [`DecisionMapSolver::solve_with`] running on the recursive
+    /// oracle instead of the iterative search.
+    #[cfg(test)]
+    fn solve_with_recursive<V: Label>(
+        &mut self,
+        complex: &Complex<V>,
+        allowed: impl FnMut(&V) -> BTreeSet<u64>,
+        constraint: AgreementConstraint,
+    ) -> Option<BTreeMap<V, u64>> {
+        let instance = PreparedInstance::new(complex, allowed);
+        self.solve_prepared_recursive_oracle(&instance, constraint)
     }
 
     /// Verifies that `map` is a valid k-set agreement decision map.
@@ -1066,7 +1671,9 @@ mod tests {
 
     #[test]
     fn ablation_no_forward_checking_still_complete() {
-        // the ablation config must return identical verdicts, only slower
+        // the ablation config must return identical verdicts, only
+        // slower (learning off on both sides so the comparison
+        // isolates what forward checking buys)
         let facets: Vec<Simplex<u32>> = (0..12u32).map(|i| s(&[i, i + 1])).collect();
         let c = Complex::from_facets(facets);
         let dom = |v: &u32| -> BTreeSet<u64> {
@@ -1076,9 +1683,13 @@ mod tests {
                 _ => [0u64, 1].into_iter().collect(),
             }
         };
-        let mut fast = DecisionMapSolver::new();
+        let mut fast = DecisionMapSolver::with_config(SolverConfig {
+            learning: false,
+            ..SolverConfig::default()
+        });
         let mut slow = DecisionMapSolver::with_config(SolverConfig {
             forward_checking: false,
+            learning: false,
             ..SolverConfig::default()
         });
         assert_eq!(fast.solve(&c, dom, 1), None);
@@ -1259,10 +1870,15 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
-        /// Orbit branching with a value-permutation symmetry returns the
-        /// same verdict AND the same witness as the unpruned search on
-        /// random instances with uniform domains (where any value
-        /// permutation of the shared domain is a valid symmetry).
+        /// Orbit branching with a value-permutation symmetry returns
+        /// the same verdict as the unpruned search on random instances
+        /// with uniform domains (where any value permutation of the
+        /// shared domain is a valid symmetry) — in every learning
+        /// configuration. With learning off the *witness* is identical
+        /// too (skipped candidates could only ever fail, so the first
+        /// success path is untouched); with learning on, nogood prunes
+        /// may reorder the most-constrained-vertex heuristic, so only
+        /// the verdict and witness validity are pinned.
         #[test]
         fn orbit_branching_matches_unpruned(
             facets in prop::collection::vec(
@@ -1283,13 +1899,20 @@ mod tests {
             with_sym.attach_symmetries([value_symmetry(n, values)]);
             let plain = PreparedInstance::new(&c, allowed);
             let constraint = AgreementConstraint::AtMostKDistinct(k);
-            let mut pruned = DecisionMapSolver::new();
-            let got = pruned.solve_prepared(&with_sym, constraint);
-            let mut unpruned = DecisionMapSolver::new();
-            let want = unpruned.solve_prepared(&plain, constraint);
-            prop_assert_eq!(&got, &want);
-            if let Some(map) = got {
-                prop_assert!(DecisionMapSolver::verify_with(&c, &map, allowed, constraint));
+            for learning in [false, true] {
+                let config = SolverConfig { learning, ..SolverConfig::default() };
+                let mut pruned = DecisionMapSolver::with_config(config);
+                let got = pruned.solve_prepared(&with_sym, constraint);
+                let mut unpruned = DecisionMapSolver::with_config(config);
+                let want = unpruned.solve_prepared(&plain, constraint);
+                if learning {
+                    prop_assert_eq!(got.is_some(), want.is_some());
+                } else {
+                    prop_assert_eq!(&got, &want);
+                }
+                if let Some(map) = got {
+                    prop_assert!(DecisionMapSolver::verify_with(&c, &map, allowed, constraint));
+                }
             }
         }
     }
@@ -1318,10 +1941,13 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
-        /// The iterative frame-stack search is observationally identical
-        /// to the recursive oracle it replaced: same verdict, same
-        /// witness, same statistics — and any witness verifies. Checked
-        /// with forward checking both on and off.
+        /// With learning off, the iterative frame-stack search is
+        /// observationally identical to the recursive oracle it
+        /// replaced: same verdict, same witness, same statistics — and
+        /// any witness verifies. With learning on, conflict analysis
+        /// may take a different route through the tree, so the oracle
+        /// pins the verdict and witness validity. Checked with forward
+        /// checking both on and off.
         #[test]
         fn iterative_matches_recursive_oracle(
             facets in prop::collection::vec(
@@ -1334,18 +1960,163 @@ mod tests {
             let (c, allowed) = arbitrary_instance(&facets, &doms, nv);
             let constraint = AgreementConstraint::AtMostKDistinct(k);
             for forward_checking in [true, false] {
-                let config = SolverConfig { forward_checking, ..SolverConfig::default() };
+                let config = SolverConfig {
+                    forward_checking,
+                    learning: false,
+                    ..SolverConfig::default()
+                };
                 let mut iter_solver = DecisionMapSolver::with_config(config);
                 let got = iter_solver.solve_with(&c, allowed, constraint);
                 let mut rec_solver = DecisionMapSolver::with_config(config);
                 let want = rec_solver.solve_with_recursive(&c, allowed, constraint);
                 prop_assert_eq!(&got, &want);
                 prop_assert_eq!(iter_solver.stats(), rec_solver.stats());
-                if let Some(map) = got {
+                // the learning-off path must not touch the CDCL stats
+                let off = iter_solver.stats();
+                prop_assert_eq!(off.backjumps, 0);
+                prop_assert_eq!(off.learned_nogoods, 0);
+                prop_assert_eq!(off.nogood_hits, 0);
+                prop_assert_eq!(off.max_jump, 0);
+                if let Some(map) = &got {
+                    prop_assert!(
+                        DecisionMapSolver::verify_with(&c, map, allowed, constraint));
+                }
+                let mut cdcl_solver = DecisionMapSolver::with_config(SolverConfig {
+                    forward_checking,
+                    ..SolverConfig::default()
+                });
+                let cdcl = cdcl_solver.solve_with(&c, allowed, constraint);
+                prop_assert_eq!(cdcl.is_some(), got.is_some());
+                if let Some(map) = cdcl {
                     prop_assert!(
                         DecisionMapSolver::verify_with(&c, &map, allowed, constraint));
                 }
             }
         }
+    }
+
+    #[test]
+    fn nogood_store_eviction_keeps_cap() {
+        let mut store = NogoodStore::new(8, 4);
+        for i in 0..40u64 {
+            assert!(store.insert(vec![(0, i), (1, i + 1)]));
+            assert!(store.items.len() <= 8, "cap exceeded at insert {i}");
+        }
+        // high-activity nogoods survive eviction
+        let mut store = NogoodStore::new(4, 2);
+        for i in 0..4u64 {
+            assert!(store.insert(vec![(0, i)]));
+        }
+        store.items[3].activity = 10;
+        assert!(store.insert(vec![(1, 99)]));
+        assert!(store.items.len() <= 4);
+        assert!(
+            store.items.iter().any(|ng| ng.pairs == vec![(0u32, 3u64)]),
+            "the hot nogood was evicted"
+        );
+        // the vertex index matches the surviving items exactly
+        for (id, ng) in store.items.iter().enumerate() {
+            for &(v, _) in &ng.pairs {
+                assert!(store.by_vertex[v as usize].contains(&(id as u32)));
+            }
+        }
+        for (v, ids) in store.by_vertex.iter().enumerate() {
+            for &id in ids {
+                assert!(store.items[id as usize]
+                    .pairs
+                    .iter()
+                    .any(|&(u, _)| u as usize == v));
+            }
+        }
+    }
+
+    #[test]
+    fn nogood_store_rejects_empty_and_oversized() {
+        let mut store = NogoodStore::new(8, 64);
+        assert!(!store.insert(Vec::new()));
+        let long: Vec<(u32, u64)> = (0..=MAX_NOGOOD_LEN as u32).map(|v| (v, 0)).collect();
+        assert!(!store.insert(long));
+        assert!(store.items.is_empty());
+    }
+
+    /// An incompatible pinned edge `(0, 9)` buried behind eight free
+    /// vertices, forward checking off so only search can find the
+    /// contradiction: chronological backtracking re-enumerates the
+    /// free block for every candidate pair, while conflict analysis
+    /// explains the dead end by vertex 0's level alone, jumps straight
+    /// back over the free block, and proves unsolvability after one
+    /// pass per root candidate.
+    #[test]
+    fn backjumping_skips_irrelevant_decisions() {
+        let mut facets = vec![s(&[0, 9])];
+        facets.extend((1..=8u32).map(|i| s(&[i])));
+        let c = Complex::from_facets(facets);
+        let dom = |v: &u32| -> BTreeSet<u64> {
+            match v {
+                9 => [2u64, 3].into_iter().collect(),
+                _ => [0u64, 1].into_iter().collect(),
+            }
+        };
+        let mk = |learning: bool| {
+            DecisionMapSolver::with_config(SolverConfig {
+                forward_checking: false,
+                learning,
+                ..SolverConfig::default()
+            })
+        };
+        let mut on = mk(true);
+        let mut off = mk(false);
+        assert_eq!(on.solve(&c, dom, 1), None);
+        assert_eq!(off.solve(&c, dom, 1), None);
+        let on_stats = on.stats();
+        assert!(on_stats.backjumps > 0, "no backjump taken: {on_stats:?}");
+        assert!(
+            on_stats.max_jump > 1,
+            "jumps never spanned levels: {on_stats:?}"
+        );
+        assert!(
+            on_stats.learned_nogoods > 0,
+            "nothing learned: {on_stats:?}"
+        );
+        assert!(
+            on_stats.assignments < off.stats().assignments,
+            "conflict analysis saved nothing: on={on_stats:?} off={:?}",
+            off.stats()
+        );
+        // the recorded lemmas really are lemmas: each names vertex 0
+        // (the only implicated decision), never a free vertex
+        for ng in on.learned_nogoods() {
+            assert!(
+                ng.iter().all(|&(v, _)| v == 0 || v == 9),
+                "overwide nogood {ng:?}"
+            );
+        }
+    }
+
+    /// Learned nogoods survive into sibling subtrees and keep firing:
+    /// the search below must revisit compatible prefixes after an
+    /// unrelated retreat, which is exactly when stored lemmas pay off.
+    #[test]
+    fn nogoods_fire_across_subtrees() {
+        // k=1 on a 4-clique of "agreers" {0,1,2,3} pinned apart from a
+        // block of free singletons: plenty of conflicts at several
+        // depths with forward checking off
+        let mut facets = vec![s(&[0, 1]), s(&[1, 2]), s(&[2, 3]), s(&[0, 3])];
+        facets.extend((4..=9u32).map(|i| s(&[i])));
+        let c = Complex::from_facets(facets);
+        let dom = |v: &u32| -> BTreeSet<u64> {
+            match v {
+                0 => [0u64, 1].into_iter().collect(),
+                3 => [2u64, 3].into_iter().collect(),
+                _ => [0u64, 1, 2].into_iter().collect(),
+            }
+        };
+        let mut solver = DecisionMapSolver::with_config(SolverConfig {
+            forward_checking: false,
+            ..SolverConfig::default()
+        });
+        assert_eq!(solver.solve(&c, dom, 1), None);
+        let stats = solver.stats();
+        assert!(stats.learned_nogoods > 0, "nothing learned: {stats:?}");
     }
 }

@@ -1,0 +1,176 @@
+//! Pruning-power regression for nogood learning.
+//!
+//! On the fixed sync n = 4 and async n = 4 grids, the solver with
+//! learning on must never need *more* branch assignments or backtracks
+//! than the chronological solver, and on at least one search-bound
+//! point conflict analysis must demonstrably fire — backjumps taken,
+//! nogoods learned, and strictly fewer backtracks than the
+//! chronological search. This guards against the learning machinery
+//! silently going inert: an inert implementation would still pass every
+//! equivalence test, since learning may only change how fast a verdict
+//! is reached, never which verdict it is.
+//!
+//! Measured shape of these grids (EXPERIMENTS.md E16/E17): propagation
+//! does almost all the work, so `assignments` *ties* on every natural
+//! point — refutations happen within one or two decision levels and
+//! chronological search re-assigns nothing. What learning changes on
+//! real grid points is the undo traffic: one conflict analysis replaces
+//! up to `max_jump` chronological frame re-entries (e.g. async n = 4,
+//! f = 2, k = 2: 86 backtracks → 5). A strict `assignments` reduction
+//! appears when decisions *between* the conflict's implicants are
+//! skipped — pinned by the deep-prefix instance in the solver's unit
+//! tests (`backjumping_skips_irrelevant_decisions`).
+//!
+//! Symmetries are deliberately not attached: orbit branching would
+//! prune both sides and blur what learning itself contributes. The
+//! per-point numbers printed here feed EXPERIMENTS.md E17.
+
+use ps_agreement::{
+    allowed_values, async_task_parts, sync_task_parts, AgreementConstraint, DecisionMapSolver,
+    KSetAgreement, PreparedInstance, SolverConfig, SolverStats,
+};
+use ps_models::View;
+
+/// Solves one prepared instance with and without learning, returning
+/// `(stats_on, stats_off)` after asserting the verdicts agree.
+fn on_off(instance: &PreparedInstance<View<u64>>, k: usize) -> (SolverStats, SolverStats) {
+    let run = |learning: bool| {
+        let mut solver = DecisionMapSolver::with_config(SolverConfig {
+            learning,
+            ..SolverConfig::default()
+        });
+        let verdict = solver
+            .solve_prepared(instance, AgreementConstraint::AtMostKDistinct(k))
+            .is_some();
+        (verdict, solver.stats())
+    };
+    let (verdict_on, on) = run(true);
+    let (verdict_off, off) = run(false);
+    assert_eq!(verdict_on, verdict_off, "learning flipped a verdict");
+    (on, off)
+}
+
+struct GridPoint {
+    name: String,
+    on: SolverStats,
+    off: SolverStats,
+}
+
+/// Asserts learning never hurts on any point and that conflict
+/// analysis demonstrably fires — a strict backtrack reduction — on at
+/// least one. With `require_backjumps` some firing point must also
+/// have recorded a nogood and taken a multi-level backjump (on grids
+/// whose conflicts collapse at the root, explanations still cut the
+/// refutation short but leave nothing to learn).
+fn check_grid(points: Vec<GridPoint>, require_backjumps: bool) {
+    let mut fired = 0usize;
+    let mut jumped = 0usize;
+    for p in &points {
+        println!(
+            "{:28} assignments on/off = {:>6} / {:>6}  backtracks on/off = {:>6} / {:>6}  \
+             backjumps = {:>3}  learned = {:>3}  max_jump = {}",
+            p.name,
+            p.on.assignments,
+            p.off.assignments,
+            p.on.backtracks,
+            p.off.backtracks,
+            p.on.backjumps,
+            p.on.learned_nogoods,
+            p.on.max_jump,
+        );
+        assert!(
+            p.on.assignments <= p.off.assignments,
+            "{}: learning increased assignments ({} > {})",
+            p.name,
+            p.on.assignments,
+            p.off.assignments
+        );
+        assert!(
+            p.on.backtracks <= p.off.backtracks,
+            "{}: learning increased backtracks ({} > {})",
+            p.name,
+            p.on.backtracks,
+            p.off.backtracks
+        );
+        if p.on.backtracks < p.off.backtracks {
+            fired += 1;
+            if p.on.learned_nogoods > 0 && p.on.backjumps > 0 {
+                jumped += 1;
+            }
+        }
+    }
+    assert!(
+        fired >= 1,
+        "no grid point showed conflict analysis firing — is the learning machinery inert?"
+    );
+    assert!(
+        !require_backjumps || jumped >= 1,
+        "no grid point learned a nogood and backjumped — is the nogood store inert?"
+    );
+}
+
+/// Sync n = 4: the sweep-smoke grid (f = 1, k_per_round = 1,
+/// k ∈ {1, 2}, r ∈ {1, 2}) plus the f = 2 consensus points whose
+/// refutations actually produce conflicts, solved without symmetries so
+/// the comparison isolates learning.
+#[test]
+fn sync_n4_grid_learning_never_hurts() {
+    let mut points = Vec::new();
+    for k in 1..=2usize {
+        for rounds in 1..=2usize {
+            let task = KSetAgreement::canonical(k);
+            let (pool, ids) = sync_task_parts(&task.values, 4, 1, 1, rounds);
+            let instance = PreparedInstance::from_interned(&pool, &ids, allowed_values);
+            let (on, off) = on_off(&instance, k);
+            points.push(GridPoint {
+                name: format!("sync n=4 f=1 k={k} r={rounds}"),
+                on,
+                off,
+            });
+        }
+    }
+    // f = 2 consensus: unsolvable at r ∈ {1, 2} (needs ⌊f/k⌋ + 1 = 3
+    // rounds), and the r = 2 refutation is the sync grid's only point
+    // with enough conflict depth for backjumping to show
+    for rounds in 1..=2usize {
+        let task = KSetAgreement::canonical(1);
+        let (pool, ids) = sync_task_parts(&task.values, 4, 2, 2, rounds);
+        let instance = PreparedInstance::from_interned(&pool, &ids, allowed_values);
+        let (on, off) = on_off(&instance, 1);
+        points.push(GridPoint {
+            name: format!("sync n=4 f=2 k=1 r={rounds}"),
+            on,
+            off,
+        });
+    }
+    check_grid(points, false);
+}
+
+/// Async n = 4: the f = 1 grid points plus the search-bound
+/// f = 2, k = 2 refutation (the acceptance-criterion point), solved
+/// without symmetries.
+#[test]
+fn async_n4_grid_learning_never_hurts() {
+    let mut points = Vec::new();
+    for k in 1..=2usize {
+        let task = KSetAgreement::canonical(k);
+        let (pool, ids) = async_task_parts(&task.values, 4, 1, 1);
+        let instance = PreparedInstance::from_interned(&pool, &ids, allowed_values);
+        let (on, off) = on_off(&instance, k);
+        points.push(GridPoint {
+            name: format!("async n=4 f=1 k={k} r=1"),
+            on,
+            off,
+        });
+    }
+    let task = KSetAgreement::canonical(2);
+    let (pool, ids) = async_task_parts(&task.values, 4, 2, 1);
+    let instance = PreparedInstance::from_interned(&pool, &ids, allowed_values);
+    let (on, off) = on_off(&instance, 2);
+    points.push(GridPoint {
+        name: "async n=4 f=2 k=2 r=1".into(),
+        on,
+        off,
+    });
+    check_grid(points, true);
+}

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ps_agreement::{
-    allowed_values, async_task_complex, sync_task_complex, DecisionMapSolver, KSetAgreement,
-    SolverConfig,
+    allowed_values, async_task_complex, sync_task_complex, AgreementConstraint, DecisionMapSolver,
+    KSetAgreement, PreparedInstance, SolverConfig,
 };
 use ps_topology::{Complex, IdComplex, Simplex, VertexPool};
 use std::hint::black_box;
@@ -95,6 +95,34 @@ fn bench_forward_checking_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_learning_ablation(c: &mut Criterion) {
+    // nogood learning on vs off on the search-bound async n = 4, f = 2,
+    // k = 2 refutation (one conflict analysis replaces dozens of
+    // chronological frame re-entries there; EXPERIMENTS.md E17) — same
+    // verdict both ways, the bench quantifies the conflict-driven
+    // payoff. Solved without symmetries so learning is isolated.
+    let mut group = c.benchmark_group("learning");
+    group.sample_size(10);
+    let task = KSetAgreement::canonical(2);
+    let (pool, ids) = ps_agreement::async_task_parts(&task.values, 4, 2, 1);
+    let instance = PreparedInstance::from_interned(&pool, &ids, allowed_values);
+    for (name, learning) in [("learning_on", true), ("learning_off", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = DecisionMapSolver::with_config(SolverConfig {
+                    learning,
+                    ..SolverConfig::default()
+                });
+                black_box(
+                    s.solve_prepared(&instance, AgreementConstraint::AtMostKDistinct(2))
+                        .is_none(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_interning_layer(c: &mut Criterion) {
     // the raw id plumbing the solver now sits on: canonical interning of
     // a protocol complex, and id-level ops on the dense u32 complex
@@ -131,6 +159,7 @@ criterion_group!(
     bench_solvable_instances,
     bench_task_complex_construction,
     bench_forward_checking_ablation,
+    bench_learning_ablation,
     bench_interning_layer
 );
 criterion_main!(benches);

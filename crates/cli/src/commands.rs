@@ -24,9 +24,10 @@ usage:
                [--p P] [--rounds R] [--format summary|dot|off|text]
   psph prove <sync|semisync> [--procs N] [--k K] [--p P] [--level L]
   psph solve <async|sync|semisync> [--procs N] [--f F] [--k K]
-               [--p P] [--rounds R] [--symmetry on|off]
+               [--p P] [--rounds R] [--symmetry on|off] [--learning on|off]
   psph sweep <async|sync|semisync> [--procs N] [--f F] [--k K]
                [--p P] [--rounds R] [--independent] [--symmetry on|off]
+               [--learning on|off]
   psph simulate [--procs N] [--f F] [--k K] [--seeds S]
   psph stretch [--procs N] [--k K] [--c1 T] [--c2 T] [--d T]
   psph chain [--procs N]
@@ -36,6 +37,9 @@ global: --threads T  worker threads for homology and sweeps
         (default: all cores; PS_THREADS overrides)
         --symmetry on|off  exploit task symmetries: orbit branching in
         the solver and canonical-form dedupe across sweep groups
+        (default: on; verdicts are identical either way)
+        --learning on|off  conflict-driven backjumping with nogood
+        learning in the decision-map solver
         (default: on; verdicts are identical either way)";
 
 /// Parses `--symmetry on|off` (default `on`).
@@ -47,6 +51,26 @@ fn symmetry_opt(args: &Args) -> Result<bool, ArgError> {
             "--symmetry expects `on` or `off`, got `{other}`"
         ))),
     }
+}
+
+/// Parses `--learning on|off` (default `on`).
+fn learning_opt(args: &Args) -> Result<bool, ArgError> {
+    match args.str_opt("learning", "on").as_str() {
+        "on" | "true" => Ok(true),
+        "off" | "false" => Ok(false),
+        other => Err(ArgError(format!(
+            "--learning expects `on` or `off`, got `{other}`"
+        ))),
+    }
+}
+
+/// Builds [`SweepOptions`] from the shared `--symmetry`/`--learning`
+/// flags.
+fn sweep_options(args: &Args) -> Result<SweepOptions, ArgError> {
+    Ok(SweepOptions {
+        symmetry: symmetry_opt(args)?,
+        learning: learning_opt(args)?,
+    })
 }
 
 /// Dispatches a parsed command line.
@@ -269,11 +293,11 @@ fn solve(args: &Args) -> Result<(), ArgError> {
     let k = args.usize_opt("k", 1)?;
     let p = args.usize_opt("p", 2)? as u32;
     let rounds = args.usize_opt("rounds", 1)?;
-    let symmetry = symmetry_opt(args)?;
+    let opts = sweep_options(args)?;
     let res = match model.as_str() {
-        "async" => async_solvable_opts(k, f, n, rounds, symmetry),
-        "sync" => sync_solvable_opts(k, f, n, k.max(1).min(f.max(1)), rounds, symmetry),
-        "semisync" => semisync_solvable_opts(k, f, n, k.max(1).min(f.max(1)), p, rounds, symmetry),
+        "async" => async_solvable_opts(k, f, n, rounds, opts),
+        "sync" => sync_solvable_opts(k, f, n, k.max(1).min(f.max(1)), rounds, opts),
+        "semisync" => semisync_solvable_opts(k, f, n, k.max(1).min(f.max(1)), p, rounds, opts),
         other => return Err(ArgError(format!("unknown model `{other}`"))),
     };
     println!("{model} {k}-set agreement, {n} processes, f = {f}, r = {rounds}:");
@@ -333,15 +357,14 @@ fn sweep(args: &Args) -> Result<(), ArgError> {
     }
     let threads = ps_topology::parallel::configured_threads();
     let independent = args.flag("independent");
-    let opts = SweepOptions {
-        symmetry: symmetry_opt(args)?,
-    };
+    let opts = sweep_options(args)?;
     println!(
-        "{model} sweep: {n} processes, f = {f}, k = 1..={}, r = 1..={} ({} points, {threads} threads, symmetry {})",
+        "{model} sweep: {n} processes, f = {f}, k = 1..={}, r = 1..={} ({} points, {threads} threads, symmetry {}, learning {})",
         k_max.max(1),
         r_max.max(1),
         points.len(),
         if opts.symmetry { "on" } else { "off" },
+        if opts.learning { "on" } else { "off" },
     );
     let results = if independent {
         // legacy per-point path: each point rebuilds its own canonical

@@ -179,6 +179,46 @@ fn sweep_symmetry_off_matches_default_verdicts() {
 }
 
 #[test]
+fn sweep_learning_off_matches_default_verdicts() {
+    let grid = [
+        "sweep", "sync", "--procs", "3", "--f", "2", "--k", "2", "--rounds", "2",
+    ];
+    let (on, _, ok) = psph(&grid);
+    assert!(ok, "{on}");
+    assert!(on.contains("learning on"), "{on}");
+    let mut off_args = grid.to_vec();
+    off_args.extend(["--learning", "off"]);
+    let (off, _, ok2) = psph(&off_args);
+    assert!(ok2, "{off}");
+    assert!(off.contains("learning off"), "{off}");
+    let rows = |out: &str| -> Vec<String> {
+        out.lines()
+            .filter(|l| l.contains("solvable") || l.contains("NO decision map"))
+            .map(str::to_string)
+            .collect()
+    };
+    // full rows (counts included) must agree, not just verdicts
+    assert_eq!(rows(&on), rows(&off));
+}
+
+#[test]
+fn solve_learning_flag_parses_and_agrees() {
+    let base = ["solve", "async", "--procs", "3", "--f", "2", "--k", "2"];
+    let (on, _, ok) = psph(&base);
+    assert!(ok, "{on}");
+    let mut off_args = base.to_vec();
+    off_args.extend(["--learning", "off"]);
+    let (off, _, ok2) = psph(&off_args);
+    assert!(ok2, "{off}");
+    assert_eq!(on, off);
+    let mut bad = base.to_vec();
+    bad.extend(["--learning", "sideways"]);
+    let (_, stderr, ok3) = psph(&bad);
+    assert!(!ok3);
+    assert!(stderr.contains("--learning expects"), "{stderr}");
+}
+
+#[test]
 fn solve_symmetry_flag_parses_and_agrees() {
     let base = ["solve", "async", "--procs", "3", "--f", "1", "--k", "1"];
     let (on, _, ok) = psph(&base);

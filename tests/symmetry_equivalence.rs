@@ -97,8 +97,8 @@ proptest! {
                 k, f, n_plus_1, k_per_round: k.min(f), microrounds: 2, rounds,
             },
         };
-        let pruned = point.run_opts(true);
-        let unpruned = point.run_opts(false);
+        let pruned = point.run_opts(SweepOptions { symmetry: true, ..SweepOptions::default() });
+        let unpruned = point.run_opts(SweepOptions { symmetry: false, ..SweepOptions::default() });
         prop_assert_eq!(pruned, unpruned);
     }
 }
@@ -139,8 +139,14 @@ fn full_small_grid_symmetry_on_off_equal() {
             }
         }
     }
-    let on = SweepOptions { symmetry: true };
-    let off = SweepOptions { symmetry: false };
+    let on = SweepOptions {
+        symmetry: true,
+        ..SweepOptions::default()
+    };
+    let off = SweepOptions {
+        symmetry: false,
+        ..SweepOptions::default()
+    };
     assert_eq!(
         solvability_sweep_opts(&points, 2, on),
         solvability_sweep_opts(&points, 2, off),
@@ -169,8 +175,22 @@ fn sync_n4_grid_symmetry_on_off_equal() {
             });
         }
     }
-    let on = solvability_sweep_shared_opts(&points, 2, SweepOptions { symmetry: true });
-    let off = solvability_sweep_shared_opts(&points, 2, SweepOptions { symmetry: false });
+    let on = solvability_sweep_shared_opts(
+        &points,
+        2,
+        SweepOptions {
+            symmetry: true,
+            ..SweepOptions::default()
+        },
+    );
+    let off = solvability_sweep_shared_opts(
+        &points,
+        2,
+        SweepOptions {
+            symmetry: false,
+            ..SweepOptions::default()
+        },
+    );
     assert_eq!(on, off);
     // classical sanity: sync consensus with f = 1 needs 2 rounds
     assert!(!on[0].solvable && on[1].solvable);
