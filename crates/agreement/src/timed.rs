@@ -13,7 +13,8 @@ use std::collections::BTreeSet;
 
 use ps_core::ProcessId;
 use ps_runtime::{
-    Lockstep, StretchAdversary, TimedExecutor, TimedParams, TimedProtocol, TimedTrace,
+    run_policy, Lockstep, PolicyRun, SemisyncPolicy, StretchAdversary, TimedParams, TimedProtocol,
+    TimedTrace,
 };
 
 /// State of [`TimedFloodSet`].
@@ -103,25 +104,32 @@ impl StretchOutcome {
 /// Runs the Corollary 22 experiment: `n_plus_1` processes, wait-free
 /// budget `f = n`, agreement parameter `k`; measures the survivor's
 /// decision time under [`StretchAdversary`] and the failure-free time
-/// under [`Lockstep`].
+/// under [`Lockstep`]. Both runs drive the unified scheduler directly
+/// ([`run_policy`] under [`SemisyncPolicy`]).
 pub fn stretch_experiment(n_plus_1: usize, k: usize, params: TimedParams) -> StretchOutcome {
     let f = n_plus_1 - 1;
     let proto = TimedFloodSet::optimal(f, k);
     let inputs: Vec<u64> = (0..n_plus_1 as u64).collect();
-    let exec = TimedExecutor::new(proto, n_plus_1, params);
 
     let horizon = params.c2 * params.microrounds() * (proto.rounds + 2) * 4 + 16;
+    let run = PolicyRun {
+        max_time: horizon,
+        ..PolicyRun::default()
+    };
     let mut stretch = StretchAdversary {
         survivor: ProcessId(0),
         crash_at: 0,
     };
-    let trace: TimedTrace<u64> = exec.run(&inputs, &mut stretch, horizon);
+    let mut policy = SemisyncPolicy::new(&mut stretch, params);
+    let trace: TimedTrace<u64> = run_policy(&proto, n_plus_1, &inputs, &mut policy, run);
     let decision_time = trace
         .decision(ProcessId(0))
         .expect("survivor must decide (wait-free)")
         .0;
 
-    let free = exec.run(&inputs, &mut Lockstep, horizon);
+    let mut lockstep = Lockstep;
+    let mut policy = SemisyncPolicy::new(&mut lockstep, params);
+    let free = run_policy(&proto, n_plus_1, &inputs, &mut policy, run);
     let failure_free_time = free.last_decision_time().expect("all decide");
 
     StretchOutcome {
@@ -134,6 +142,7 @@ pub fn stretch_experiment(n_plus_1: usize, k: usize, params: TimedParams) -> Str
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ps_runtime::TimedExecutor;
 
     #[test]
     fn lockstep_terminates_and_agrees() {

@@ -1,10 +1,13 @@
-//! Simulator-substrate benchmarks: lockstep executor round throughput
-//! and timed discrete-event engine event throughput.
+//! Simulator-substrate benchmarks: lockstep executor round throughput,
+//! timed discrete-event engine event throughput, and unified-scheduler
+//! policy throughput (`scheduler_policy_throughput`, E18) including a
+//! legacy-vs-unified semisync comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ps_core::ProcessId;
 use ps_runtime::{
-    FullInformation, Lockstep, NoFailures, SyncExecutor, TimedExecutor, TimedParams, TimedProtocol,
+    traffic_run, AsyncPolicy, FullInformation, Lockstep, NoFailures, SemisyncPolicy, SyncExecutor,
+    SyncPolicy, TimedExecutor, TimedParams, TimedProtocol,
 };
 use std::hint::black_box;
 
@@ -69,5 +72,68 @@ fn bench_timed_executor(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sync_executor, bench_timed_executor);
+/// E18: unified-scheduler message throughput per timing policy, on the
+/// indexed-process hot loop (`traffic_run`'s StepGossip workload, no
+/// event-log retention). Throughput is in delivered messages.
+fn bench_scheduler_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_policy_throughput");
+    group.sample_size(10);
+    for n in [10usize, 100, 1000] {
+        // enough traffic to dominate setup, scaled down for small n
+        let messages: u64 = if n >= 1000 { 500_000 } else { 100_000 };
+        group.throughput(Throughput::Elements(messages));
+        let params = TimedParams::new(1, 2, 4);
+        group.bench_with_input(BenchmarkId::new("sync", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut adv = Lockstep;
+                let mut pol = SyncPolicy::new(&mut adv);
+                black_box(traffic_run(n, messages, &mut pol, u64::MAX))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("semisync", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut adv = Lockstep;
+                let mut pol = SemisyncPolicy::new(&mut adv, params);
+                black_box(traffic_run(n, messages, &mut pol, u64::MAX))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("async", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut adv = Lockstep;
+                let mut pol = AsyncPolicy::new(&mut adv, params);
+                black_box(traffic_run(n, messages, &mut pol, u64::MAX))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Legacy event loop vs. the unified scheduler on the identical semisync
+/// workload (Chatter under Lockstep at n = 100): the unified path must
+/// be no slower.
+fn bench_legacy_vs_unified(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semisync_legacy_vs_unified");
+    group.sample_size(10);
+    let n = 100usize;
+    let steps = 50u64;
+    let params = TimedParams::new(1, 2, 3);
+    let exec = TimedExecutor::new(Chatter { limit: steps }, n, params);
+    let inputs = vec![0u8; n];
+    group.throughput(Throughput::Elements(steps * (n * n) as u64));
+    group.bench_function("unified", |b| {
+        b.iter(|| black_box(exec.run(&inputs, &mut Lockstep, steps * 4)))
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| black_box(exec.run_legacy(&inputs, &mut Lockstep, steps * 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sync_executor,
+    bench_timed_executor,
+    bench_scheduler_policies,
+    bench_legacy_vs_unified
+);
 criterion_main!(benches);

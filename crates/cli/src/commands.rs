@@ -10,7 +10,10 @@ use ps_agreement::{
 };
 use ps_core::{process_simplex, MvProver, ProcessId, Pseudosphere};
 use ps_models::{input_simplex, AsyncModel, IisModel, SemiSyncModel, SyncModel};
-use ps_runtime::{RandomAdversary, SyncExecutor, TimedParams};
+use ps_runtime::{
+    traffic_run, AsyncPolicy, RandomAdversary, RandomTimedAdversary, SemisyncPolicy, SyncExecutor,
+    SyncPolicy, TimedParams, TrafficReport,
+};
 use ps_topology::export::{ascii_summary, to_dot, to_off, to_text};
 use ps_topology::{indistinguishability_chain, Complex, ConnectivityAnalyzer, Label};
 
@@ -30,6 +33,9 @@ usage:
                [--learning on|off]
   psph simulate [--procs N] [--f F] [--k K] [--seeds S]
   psph stretch [--procs N] [--k K] [--c1 T] [--c2 T] [--d T]
+  psph traffic [--n N] [--messages M] [--policy sync|semisync|async|all]
+               [--seed S] [--crashes C] [--c1 T] [--c2 T] [--d T]
+               [--horizon H]
   psph chain [--procs N]
 
 defaults: --procs 3 --f 1 --k 1 --p 2 --rounds 1
@@ -92,6 +98,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         Some("sweep") => sweep(args),
         Some("simulate") => simulate(args),
         Some("stretch") => stretch(args),
+        Some("traffic") => traffic(args),
         Some("chain") => chain(args),
         Some(other) => Err(ArgError(format!("unknown subcommand `{other}`"))),
         None => Err(ArgError("missing subcommand".into())),
@@ -476,6 +483,94 @@ fn stretch(args: &Args) -> Result<(), ArgError> {
             "VIOLATED ✗"
         }
     );
+    Ok(())
+}
+
+/// Heavy-traffic throughput run on the unified scheduler: `--n`
+/// processes gossiping under the chosen timing policy until
+/// `--messages` deliveries, with the always-on invariant checks
+/// (chronology, FIFO per channel, delivery accounting) active
+/// throughout. `--crashes C` crashes the C highest-numbered processes
+/// on a staggered schedule.
+fn traffic(args: &Args) -> Result<(), ArgError> {
+    let n = args.usize_opt("n", 100)?;
+    if n < 2 {
+        return Err(ArgError("--n must be at least 2".into()));
+    }
+    let messages = args.u64_opt("messages", 1_000_000)?;
+    let seed = args.u64_opt("seed", 0)?;
+    let crashes = args.usize_opt("crashes", 0)?;
+    if crashes + 2 > n {
+        return Err(ArgError(format!(
+            "--crashes must leave at least two processes alive (n = {n})"
+        )));
+    }
+    let c1 = args.u64_opt("c1", 1)?;
+    let c2 = args.u64_opt("c2", 2)?;
+    let d = args.u64_opt("d", 4)?;
+    let horizon = args.u64_opt("horizon", 10_000_000)?;
+    let params = TimedParams::new(c1, c2, d);
+    let which = args.str_opt("policy", "semisync");
+    let crash_map: std::collections::BTreeMap<ProcessId, u64> = (0..crashes)
+        .map(|i| (ProcessId((n - 1 - i) as u32), 5 + 7 * i as u64))
+        .collect();
+
+    const ALL: [&str; 3] = ["sync", "semisync", "async"];
+    let policies: Vec<&str> = match which.as_str() {
+        "all" => ALL.to_vec(),
+        p => match ALL.iter().find(|x| **x == p) {
+            Some(p) => vec![p],
+            None => {
+                return Err(ArgError(format!(
+                    "--policy expects sync|semisync|async|all, got `{p}`"
+                )))
+            }
+        },
+    };
+    println!(
+        "traffic: {n} processes, target {messages} messages, seed {seed}, \
+         {crashes} crash(es), c1 = {c1}, c2 = {c2}, d = {d}"
+    );
+    for name in policies {
+        let mut adv = RandomTimedAdversary::new(seed, crash_map.clone());
+        let report: TrafficReport = match name {
+            "sync" => {
+                let mut pol = SyncPolicy::new(&mut adv);
+                traffic_run(n, messages, &mut pol, horizon)
+            }
+            "semisync" => {
+                let mut pol = SemisyncPolicy::new(&mut adv, params);
+                traffic_run(n, messages, &mut pol, horizon)
+            }
+            _ => {
+                let mut pol = AsyncPolicy::new(&mut adv, params);
+                traffic_run(n, messages, &mut pol, horizon)
+            }
+        };
+        println!(
+            "  [{:>8}] delivered {} (dropped {}), {} steps, {} crashes; \
+             end time {} ticks; {:.2e} events/sec ({:.2?}); invariants {}",
+            report.policy,
+            report.delivered,
+            report.dropped,
+            report.steps,
+            report.crashes,
+            report.end_time,
+            report.events_per_sec(),
+            report.elapsed,
+            if report.invariants_ok {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
+        );
+        if report.delivered < messages && report.end_time >= horizon {
+            println!(
+                "  [{:>8}] note: horizon {horizon} reached before the message target",
+                report.policy
+            );
+        }
+    }
     Ok(())
 }
 

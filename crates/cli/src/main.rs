@@ -14,6 +14,9 @@
 //! All subcommands accept a global `--threads T` (worker threads for
 //! homology and sweeps; `PS_THREADS` overrides the default).
 //! psph stretch [--procs N] [--k K] [--c1 T] [--c2 T] [--d T]
+//! psph traffic [--n N] [--messages M] [--policy sync|semisync|async|all]
+//!              [--seed S] [--crashes C] [--c1 T] [--c2 T] [--d T]
+//!              [--horizon H]
 //! psph chain [--procs N]
 //! ```
 

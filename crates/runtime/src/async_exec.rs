@@ -21,6 +21,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::protocol::{FullInformation, RoundProtocol};
+use crate::sched::{Ctl, Reactor, SchedConfig, Scheduler};
 use crate::trace::SyncTrace;
 
 /// A round schedule: per participant, the set of participants whose
@@ -123,11 +124,71 @@ impl<P: RoundProtocol> AsyncExecutor<P> {
     /// Runs `rounds` asynchronous rounds over the given participants
     /// (process `i` gets `inputs[i]`; non-participants crash initially).
     ///
+    /// This is a facade over the unified scheduler (`crate::sched`):
+    /// round `r`'s heard-set deliveries become `Deliver` events at tick
+    /// `r` followed by one `Step` per participant. Traces are identical
+    /// to [`AsyncExecutor::run_legacy`] (pinned by
+    /// `tests/runtime_equivalence.rs`).
+    ///
     /// # Panics
     ///
     /// Panics if fewer than `n + 1 - f` processes participate, or the
     /// adversary violates the heard-set constraints.
     pub fn run(
+        &self,
+        inputs: &[P::Input],
+        participants: &BTreeSet<ProcessId>,
+        adversary: &mut dyn AsyncAdversary,
+        rounds: usize,
+    ) -> SyncTrace<P::State, P::Output> {
+        assert_eq!(inputs.len(), self.n_plus_1, "one input per process");
+        assert!(
+            participants.len() >= self.min_heard(),
+            "too few participants for f = {}",
+            self.f
+        );
+        let states: BTreeMap<ProcessId, P::State> = participants
+            .iter()
+            .map(|p| {
+                (
+                    *p,
+                    self.protocol
+                        .init(*p, self.n_plus_1, inputs[p.index()].clone()),
+                )
+            })
+            .collect();
+        let mut reactor = AsyncReactor {
+            protocol: &self.protocol,
+            adversary,
+            participants,
+            min_heard: self.min_heard(),
+            rounds,
+            round: 0,
+            pending: 0,
+            states,
+            trace: SyncTrace::new(),
+        };
+        let mut sched = Scheduler::new(
+            self.n_plus_1,
+            SchedConfig {
+                max_time: u64::MAX,
+                halt_decided: false,
+                auto_halt_decided: false,
+                log_events: false,
+                stop_after_delivered: None,
+            },
+        );
+        sched.run(&mut reactor);
+        let AsyncReactor {
+            mut trace, states, ..
+        } = reactor;
+        trace.finish(states);
+        trace
+    }
+
+    /// The pre-unification round loop, retained verbatim as the
+    /// differential-testing oracle for [`AsyncExecutor::run`].
+    pub fn run_legacy(
         &self,
         inputs: &[P::Input],
         participants: &BTreeSet<ProcessId>,
@@ -186,6 +247,102 @@ impl<P: RoundProtocol> AsyncExecutor<P> {
         }
         trace.finish(states);
         trace
+    }
+}
+
+/// The asynchronous round machine as a scheduler reactor: round `r`
+/// occupies tick `r`; each participant's heard-set messages arrive as
+/// `Deliver` events at tick `r` before its `Step`. All participants
+/// transition every round (decided processes keep stepping, matching
+/// the §6 round structure).
+struct AsyncReactor<'a, P: RoundProtocol> {
+    protocol: &'a P,
+    adversary: &'a mut dyn AsyncAdversary,
+    participants: &'a BTreeSet<ProcessId>,
+    min_heard: usize,
+    rounds: usize,
+    round: usize,
+    pending: usize,
+    states: BTreeMap<ProcessId, P::State>,
+    trace: SyncTrace<P::State, P::Output>,
+}
+
+impl<P: RoundProtocol> AsyncReactor<'_, P> {
+    fn plan_round(&mut self, ctl: &mut Ctl<'_, P::Msg>) {
+        let round = self.round;
+        let plan = self
+            .adversary
+            .plan_round(round, self.participants, self.min_heard);
+        for p in self.participants {
+            let heard = plan
+                .get(p)
+                .unwrap_or_else(|| panic!("adversary gave no heard set for {p}"));
+            assert!(heard.contains(p), "heard set must include self");
+            assert!(heard.len() >= self.min_heard, "heard set too small");
+            assert!(
+                heard.is_subset(self.participants),
+                "heard set not participants"
+            );
+        }
+        let msgs: BTreeMap<ProcessId, P::Msg> = self
+            .states
+            .iter()
+            .map(|(p, s)| (*p, self.protocol.message(s)))
+            .collect();
+        let t = round as u64;
+        for p in self.participants {
+            for q in &plan[p] {
+                ctl.send(*q, *p, t, msgs[q].clone());
+            }
+        }
+        for p in self.participants {
+            ctl.schedule_step(*p, t);
+        }
+        self.pending = self.participants.len();
+    }
+}
+
+impl<P: RoundProtocol> Reactor<P::Msg> for AsyncReactor<'_, P> {
+    fn on_start(&mut self, ctl: &mut Ctl<'_, P::Msg>) {
+        if self.rounds == 0 {
+            return;
+        }
+        self.round = 1;
+        self.plan_round(ctl);
+    }
+
+    fn on_step(
+        &mut self,
+        p: ProcessId,
+        _now: u64,
+        _step: u64,
+        inbox: &[(ProcessId, P::Msg)],
+        ctl: &mut Ctl<'_, P::Msg>,
+    ) {
+        let round = self.round;
+        let inbox_map: BTreeMap<ProcessId, P::Msg> = inbox.iter().cloned().collect();
+        let st = self
+            .protocol
+            .on_round(self.states.remove(&p).unwrap(), &inbox_map, round);
+        self.states.insert(p, st);
+        self.pending -= 1;
+        if self.pending > 0 {
+            return;
+        }
+        self.trace.record_round(self.states.clone());
+        for (q, st) in &self.states {
+            if self.trace.decision(*q).is_none() {
+                if let Some(out) = self.protocol.decide(st, round) {
+                    self.trace.record_decision(*q, round, out);
+                }
+            }
+        }
+        if round >= self.rounds {
+            ctl.halt();
+        } else {
+            self.round = round + 1;
+            self.plan_round(ctl);
+        }
     }
 }
 

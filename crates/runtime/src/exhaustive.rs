@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use ps_core::{subsets_up_to_size_lex, ProcessId};
 
 use crate::protocol::RoundProtocol;
+use crate::sched::round_inboxes;
 use crate::trace::SyncTrace;
 
 /// Enumerates every execution of `protocol` with the given failure
@@ -111,24 +112,19 @@ fn rec<P: RoundProtocol>(
             for c in &crash_set {
                 next_trace.record_crash(*c, round);
             }
+            let crasher_recips: Vec<(ProcessId, &BTreeSet<ProcessId>)> = crashing
+                .iter()
+                .enumerate()
+                .map(|(ci, c)| (*c, &recipient_choices[ci][idx[ci]]))
+                .collect();
+            let inboxes = round_inboxes(&msgs, &survivors, &crasher_recips);
             for s in &survivors {
                 if let Some((_, _out)) = decided.get(s) {
                     // already decided: halted, state frozen
                     next_states.insert(*s, states[s].clone());
                     continue;
                 }
-                let mut inbox: BTreeMap<ProcessId, P::Msg> = BTreeMap::new();
-                for q in &survivors {
-                    if let Some(m) = msgs.get(q) {
-                        inbox.insert(*q, m.clone());
-                    }
-                }
-                for (ci, c) in crashing.iter().enumerate() {
-                    if recipient_choices[ci][idx[ci]].contains(s) {
-                        inbox.insert(*c, msgs[c].clone());
-                    }
-                }
-                let st = protocol.on_round(states[s].clone(), &inbox, round);
+                let st = protocol.on_round(states[s].clone(), &inboxes[s], round);
                 if let Some(out) = protocol.decide(&st, round) {
                     next_decided.insert(*s, (round, out.clone()));
                     next_trace.record_decision(*s, round, out);

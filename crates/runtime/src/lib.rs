@@ -51,3 +51,9 @@ pub use semisync_exec::{
     Lockstep, RandomTimedAdversary, ScriptedPattern, StretchAdversary, TimedAdversary, TimedEvent,
     TimedExecutor, TimedParams, TimedProtocol, TimedTrace,
 };
+
+pub mod sched;
+pub use sched::{
+    run_policy, run_policy_with_stats, traffic_run, AsyncPolicy, PolicyRun, SchedConfig,
+    SchedStats, Scheduler, SemisyncPolicy, StepGossip, SyncPolicy, TimingPolicy, TrafficReport,
+};

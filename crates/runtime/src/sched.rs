@@ -1,0 +1,1103 @@
+//! The unified deterministic event scheduler: one event loop for all
+//! three timing models.
+//!
+//! The paper's central claim is that the synchronous, semi-synchronous,
+//! and asynchronous models are *one* framework differing only in timing
+//! constraints. This module makes the runtime match that thesis: a
+//! single discrete-event core ([`Scheduler`]) with a monotone event
+//! queue (total `(time, kind, seq)` ordering, the PR-2 hardening) and
+//! indexed per-process mailboxes, on which the three models are nothing
+//! but [`TimingPolicy`] implementations:
+//!
+//! * [`SyncPolicy`] — lockstep rounds: every process steps once per
+//!   tick, every message arrives by the next tick;
+//! * [`SemisyncPolicy`] — the §8 `c1/c2/d` windows of [`TimedParams`],
+//!   adversary-chosen within bounds (enforced);
+//! * [`AsyncPolicy`] — unbounded adversary-chosen step intervals and
+//!   delays (no window is enforced).
+//!
+//! All policies consume the same [`TimedAdversary`] interface, so
+//! `Lockstep`, `StretchAdversary`, `ScriptedPattern`, and
+//! `RandomTimedAdversary` drive any of the three models over the same
+//! event stream. The legacy executors (`SyncExecutor`, `AsyncExecutor`,
+//! `BufferedAsyncExecutor`, `TimedExecutor`) are facades over this core
+//! (via [`Reactor`] implementations) producing byte-identical traces —
+//! `tests/runtime_equivalence.rs` pins that against the retained
+//! reference implementations.
+//!
+//! Invariants are checked on every event, in every mode (they are the
+//! PR-2 proptest properties promoted to always-on checks):
+//!
+//! 1. **chronology** — popped event times never decrease;
+//! 2. **FIFO per channel** — per-channel delivery times never decrease
+//!    (arrival clamping at enqueue, asserted again at dequeue);
+//! 3. **delivery accounting** — the delivered counter equals the number
+//!    of accepted `Deliver` events (asserted against the event log when
+//!    logging is on).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+
+use ps_core::ProcessId;
+use ps_topology::Label;
+
+use crate::semisync_exec::{TimedAdversary, TimedEvent, TimedParams, TimedProtocol, TimedTrace};
+
+// ---------------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------------
+
+/// A scheduled event's payload.
+#[derive(Clone, Debug)]
+pub enum EventKind<M> {
+    /// A message delivery (deliveries sort before steps at equal times,
+    /// so a step sees every message that arrived "by" its step time).
+    Deliver {
+        /// Receiver.
+        dst: ProcessId,
+        /// Sender.
+        src: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// A process step.
+    Step {
+        /// The stepping process.
+        p: ProcessId,
+    },
+}
+
+impl<M> EventKind<M> {
+    /// Heap ordering discriminant: deliveries before steps at equal
+    /// times.
+    fn discriminant(&self) -> u8 {
+        match self {
+            EventKind::Deliver { .. } => 0,
+            EventKind::Step { .. } => 1,
+        }
+    }
+}
+
+/// A queued event. Ordering is strictly `(time, kind discriminant,
+/// seq)`: payload fields take no part in it, so two same-channel
+/// messages scheduled at the same tick pop in send (`seq`) order — the
+/// FIFO-per-channel guarantee hardened in PR 2.
+#[derive(Clone, Debug)]
+pub struct QueuedEvent<M> {
+    /// Scheduled time.
+    pub time: u64,
+    /// Global enqueue sequence number (unique).
+    pub seq: u64,
+    /// The event payload.
+    pub kind: EventKind<M>,
+}
+
+impl<M> QueuedEvent<M> {
+    fn key(&self) -> (u64, u8, u64) {
+        (self.time, self.kind.discriminant(), self.seq)
+    }
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        // `seq` is unique per queued event, so key equality only occurs
+        // for the same event — consistent with Ord below.
+        self.key() == other.key()
+    }
+}
+
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// The monotone event queue: a min-heap over `(time, kind, seq)` with a
+/// global enqueue sequence counter.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a delivery at `time`.
+    pub fn push_deliver(&mut self, time: u64, src: ProcessId, dst: ProcessId, msg: M) {
+        self.heap.push(Reverse(QueuedEvent {
+            time,
+            seq: self.seq,
+            kind: EventKind::Deliver { dst, src, msg },
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules a step of `p` at `time`.
+    pub fn push_step(&mut self, time: u64, p: ProcessId) {
+        self.heap.push(Reverse(QueuedEvent {
+            time,
+            seq: self.seq,
+            kind: EventKind::Step { p },
+        }));
+        self.seq += 1;
+    }
+
+    /// Pops the next event in `(time, kind, seq)` order.
+    pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+/// Scheduler run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedConfig {
+    /// Hard time horizon: the run stops (without processing) at the
+    /// first event scheduled past this time.
+    pub max_time: u64,
+    /// Whether a decided process's steps are silently skipped (the §4
+    /// "decided processes halt" rule of the timed model). Round facades
+    /// keep stepping decided processes and leave this off.
+    pub halt_decided: bool,
+    /// Whether to stop as soon as every process is decided or crashed
+    /// (checked after each productive event, as in the timed executor).
+    pub auto_halt_decided: bool,
+    /// Whether to keep the full [`TimedEvent`] log. Off for
+    /// heavy-traffic runs: invariants are still checked, but the
+    /// per-event log (which would be millions of entries) is not kept.
+    pub log_events: bool,
+    /// Stop once this many messages have been delivered (traffic runs).
+    pub stop_after_delivered: Option<u64>,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            max_time: u64::MAX,
+            halt_decided: true,
+            auto_halt_decided: true,
+            log_events: true,
+            stop_after_delivered: None,
+        }
+    }
+}
+
+/// Aggregate counters of one scheduler run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Productive events processed (accepted deliveries + executed
+    /// steps).
+    pub events: u64,
+    /// Messages delivered into inboxes.
+    pub delivered: u64,
+    /// Deliveries dropped at crashed receivers.
+    pub dropped: u64,
+    /// Steps executed.
+    pub steps: u64,
+    /// Crashes detected.
+    pub crashes: u64,
+    /// Time of the last processed event (or the horizon if hit).
+    pub end_time: u64,
+}
+
+/// What a running reactor may do: schedule deliveries and steps, mark
+/// decisions, and halt the run. Handed to [`Reactor`] callbacks.
+pub struct Ctl<'a, M> {
+    now: u64,
+    n: usize,
+    queue: &'a mut EventQueue<M>,
+    last_scheduled: &'a mut [u64],
+    decided: &'a mut [bool],
+    events: &'a mut Vec<TimedEvent>,
+    log_events: bool,
+    halted: &'a mut bool,
+}
+
+impl<M> fmt::Debug for Ctl<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctl")
+            .field("now", &self.now)
+            .field("n", &self.n)
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<M> Ctl<'_, M> {
+    /// The current event time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Schedules delivery of `msg` on channel `src → dst` with nominal
+    /// arrival time `arrival`. The arrival is clamped to the channel's
+    /// last scheduled delivery so per-channel FIFO order holds by
+    /// construction.
+    pub fn send(&mut self, src: ProcessId, dst: ProcessId, arrival: u64, msg: M) {
+        let ch = src.index() * self.n + dst.index();
+        let at = arrival.max(self.last_scheduled[ch]);
+        self.last_scheduled[ch] = at;
+        self.queue.push_deliver(at, src, dst, msg);
+    }
+
+    /// Schedules a step of `p` at absolute time `at`.
+    pub fn schedule_step(&mut self, p: ProcessId, at: u64) {
+        self.queue.push_step(at, p);
+    }
+
+    /// Marks `p` decided (logging a [`TimedEvent::Decide`] at the
+    /// current time).
+    pub fn decide(&mut self, p: ProcessId) {
+        self.decided[p.index()] = true;
+        if self.log_events {
+            self.events.push(TimedEvent::Decide(self.now, p));
+        }
+    }
+
+    /// Stops the run after the current event.
+    pub fn halt(&mut self) {
+        *self.halted = true;
+    }
+}
+
+/// A protocol driver plugged into the [`Scheduler`]: reacts to steps,
+/// schedules its own deliveries and steps through [`Ctl`].
+pub trait Reactor<M> {
+    /// Model-level crash time of `p`, if any (the scheduler skips and
+    /// logs steps of crashed processes, and drops deliveries to
+    /// receivers whose crash has been detected).
+    fn crash_time(&self, p: ProcessId) -> Option<u64> {
+        let _ = p;
+        None
+    }
+
+    /// Called once before the loop; push the initial events here.
+    fn on_start(&mut self, ctl: &mut Ctl<'_, M>);
+
+    /// Process `p` takes its `step`-th step at `now` with the messages
+    /// delivered since its previous step.
+    fn on_step(
+        &mut self,
+        p: ProcessId,
+        now: u64,
+        step: u64,
+        inbox: &[(ProcessId, M)],
+        ctl: &mut Ctl<'_, M>,
+    );
+}
+
+/// The unified deterministic discrete-event scheduler.
+///
+/// Owns the event queue, indexed per-process inboxes (pooled buffers —
+/// no per-event allocation in steady state), per-channel FIFO clamps,
+/// crash/decision flags, and the accounting counters. Timing semantics
+/// live entirely in the [`Reactor`] (and its [`TimingPolicy`]).
+#[derive(Debug)]
+pub struct Scheduler<M> {
+    n: usize,
+    cfg: SchedConfig,
+    queue: EventQueue<M>,
+    inboxes: Vec<Vec<(ProcessId, M)>>,
+    pool: Vec<Vec<(ProcessId, M)>>,
+    last_scheduled: Vec<u64>,
+    last_popped: Vec<u64>,
+    crashes: Vec<Option<u64>>,
+    decided: Vec<bool>,
+    steps_taken: Vec<u64>,
+    delivered: u64,
+    dropped: u64,
+    crashes_detected: u64,
+    steps_executed: u64,
+    processed: u64,
+    events: Vec<TimedEvent>,
+    last_time: u64,
+    end_time: u64,
+    halted: bool,
+}
+
+impl<M: Label> Scheduler<M> {
+    /// Creates a scheduler for `n` processes.
+    pub fn new(n: usize, cfg: SchedConfig) -> Self {
+        Scheduler {
+            n,
+            cfg,
+            queue: EventQueue::new(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            pool: Vec::new(),
+            last_scheduled: vec![0; n * n],
+            last_popped: vec![0; n * n],
+            crashes: vec![None; n],
+            decided: vec![false; n],
+            steps_taken: vec![0; n],
+            delivered: 0,
+            dropped: 0,
+            crashes_detected: 0,
+            steps_executed: 0,
+            processed: 0,
+            events: Vec::new(),
+            last_time: 0,
+            end_time: 0,
+            halted: false,
+        }
+    }
+
+    /// Runs the event loop to completion (queue drained, horizon hit,
+    /// or halted).
+    pub fn run<R: Reactor<M>>(&mut self, reactor: &mut R) {
+        {
+            let mut ctl = Ctl {
+                now: 0,
+                n: self.n,
+                queue: &mut self.queue,
+                last_scheduled: &mut self.last_scheduled,
+                decided: &mut self.decided,
+                events: &mut self.events,
+                log_events: self.cfg.log_events,
+                halted: &mut self.halted,
+            };
+            reactor.on_start(&mut ctl);
+        }
+        while !self.halted {
+            let Some(ev) = self.queue.pop() else { break };
+            if ev.time > self.cfg.max_time {
+                self.end_time = self.cfg.max_time;
+                break;
+            }
+            // invariant 1: chronology
+            assert!(
+                ev.time >= self.last_time,
+                "scheduler chronology violated: {} after {}",
+                ev.time,
+                self.last_time
+            );
+            self.last_time = ev.time;
+            self.end_time = ev.time;
+            let now = ev.time;
+            // `continue`-style skips below bypass the post-event checks,
+            // exactly as the reference executors do
+            let mut productive = false;
+            match ev.kind {
+                EventKind::Deliver { dst, src, msg } => {
+                    let ch = src.index() * self.n + dst.index();
+                    // invariant 2: FIFO per channel
+                    assert!(
+                        now >= self.last_popped[ch],
+                        "FIFO violated on channel {src}->{dst}"
+                    );
+                    self.last_popped[ch] = now;
+                    if self.crashes[dst.index()].is_some_and(|c| now >= c) {
+                        // crashed receivers drop messages (not counted)
+                        self.dropped += 1;
+                    } else {
+                        self.delivered += 1;
+                        if self.cfg.log_events {
+                            self.events.push(TimedEvent::Deliver(now, src, dst));
+                        }
+                        self.inboxes[dst.index()].push((src, msg));
+                        productive = true;
+                    }
+                }
+                EventKind::Step { p } => {
+                    let i = p.index();
+                    if let Some(crash_at) = reactor.crash_time(p) {
+                        if now >= crash_at {
+                            if self.crashes[i].is_none() {
+                                self.crashes[i] = Some(crash_at);
+                                self.crashes_detected += 1;
+                                // logged at *detection* time, not
+                                // back-dated to crash_at (chronology)
+                                if self.cfg.log_events {
+                                    self.events.push(TimedEvent::Crash(now, p));
+                                }
+                            }
+                            continue; // process stopped
+                        }
+                    }
+                    if self.cfg.halt_decided && self.decided[i] {
+                        continue; // decided processes halt (§4)
+                    }
+                    if self.cfg.log_events {
+                        self.events.push(TimedEvent::Step(now, p));
+                    }
+                    let step = self.steps_taken[i];
+                    let inbox = std::mem::replace(
+                        &mut self.inboxes[i],
+                        self.pool.pop().unwrap_or_default(),
+                    );
+                    let mut ctl = Ctl {
+                        now,
+                        n: self.n,
+                        queue: &mut self.queue,
+                        last_scheduled: &mut self.last_scheduled,
+                        decided: &mut self.decided,
+                        events: &mut self.events,
+                        log_events: self.cfg.log_events,
+                        halted: &mut self.halted,
+                    };
+                    reactor.on_step(p, now, step, &inbox, &mut ctl);
+                    self.steps_taken[i] += 1;
+                    self.steps_executed += 1;
+                    let mut inbox = inbox;
+                    inbox.clear();
+                    self.pool.push(inbox);
+                    productive = true;
+                }
+            }
+            if productive {
+                self.processed += 1;
+                if let Some(target) = self.cfg.stop_after_delivered {
+                    if self.delivered >= target {
+                        break;
+                    }
+                }
+                if self.cfg.auto_halt_decided {
+                    let all_done = (0..self.n as u32).map(ProcessId).all(|q| {
+                        self.decided[q.index()] || reactor.crash_time(q).is_some_and(|t| t <= now)
+                    });
+                    if all_done {
+                        break;
+                    }
+                }
+            }
+        }
+        // invariant 3: delivery accounting (log mode)
+        if self.cfg.log_events {
+            let logged = self
+                .events
+                .iter()
+                .filter(|e| matches!(e, TimedEvent::Deliver(_, _, _)))
+                .count() as u64;
+            assert_eq!(logged, self.delivered, "delivery accounting violated");
+        }
+    }
+
+    /// Aggregate run counters.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            events: self.processed,
+            delivered: self.delivered,
+            dropped: self.dropped,
+            steps: self.steps_executed,
+            crashes: self.crashes_detected,
+            end_time: self.end_time,
+        }
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Time of the last processed event.
+    pub fn end_time(&self) -> u64 {
+        self.end_time
+    }
+
+    /// Detected crashes as `process ↦ model crash time`.
+    pub fn crashes_map(&self) -> BTreeMap<ProcessId, u64> {
+        self.crashes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|t| (ProcessId(i as u32), t)))
+            .collect()
+    }
+
+    /// Per-process executed step counts (every process present).
+    pub fn steps_map(&self) -> BTreeMap<ProcessId, u64> {
+        self.steps_taken
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ProcessId(i as u32), *s))
+            .collect()
+    }
+
+    /// Takes the accumulated event log.
+    pub fn take_events(&mut self) -> Vec<TimedEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timing policies
+// ---------------------------------------------------------------------------
+
+/// A timing model expressed as constraints on step scheduling and
+/// message delivery. The three paper models are the three
+/// implementations; all consume the same [`TimedAdversary`] stream.
+pub trait TimingPolicy {
+    /// The nominal timing parameters (used for `TimedProtocol::init`
+    /// and as the range hint handed to the adversary).
+    fn params(&self) -> TimedParams;
+
+    /// Absolute time of `p`'s first step.
+    fn first_step(&mut self, p: ProcessId) -> u64;
+
+    /// Absolute time of `p`'s step number `next_index`, scheduled at
+    /// `now` (the time of its previous step).
+    fn next_step(&mut self, p: ProcessId, next_index: u64, now: u64) -> u64;
+
+    /// Absolute arrival time of a message `src → dst` sent at `now`, or
+    /// `None` if the adversary withholds it (crash-cut broadcast).
+    fn delivery(&mut self, src: ProcessId, dst: ProcessId, now: u64) -> Option<u64>;
+
+    /// Model-level crash time of `p`, if any.
+    fn crash_time(&self, p: ProcessId) -> Option<u64>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Lockstep synchronous rounds: every process steps once per tick and
+/// every message sent at tick `t` arrives at tick `t + 1` (in time for
+/// the next step — deliveries sort before steps). The adversary chooses
+/// only crashes and withheld messages.
+pub struct SyncPolicy<'a> {
+    adversary: &'a mut dyn TimedAdversary,
+}
+
+impl<'a> SyncPolicy<'a> {
+    /// Wraps a crash/drop adversary in lockstep timing.
+    pub fn new(adversary: &'a mut dyn TimedAdversary) -> Self {
+        SyncPolicy { adversary }
+    }
+}
+
+impl fmt::Debug for SyncPolicy<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SyncPolicy")
+    }
+}
+
+impl TimingPolicy for SyncPolicy<'_> {
+    fn params(&self) -> TimedParams {
+        TimedParams::new(1, 1, 1)
+    }
+    fn first_step(&mut self, _p: ProcessId) -> u64 {
+        1
+    }
+    fn next_step(&mut self, _p: ProcessId, _next_index: u64, now: u64) -> u64 {
+        now + 1
+    }
+    fn delivery(&mut self, src: ProcessId, dst: ProcessId, now: u64) -> Option<u64> {
+        self.adversary
+            .message_delivered(src, dst, now)
+            .then_some(now + 1)
+    }
+    fn crash_time(&self, p: ProcessId) -> Option<u64> {
+        self.adversary.crash_time(p)
+    }
+    fn name(&self) -> &'static str {
+        "sync"
+    }
+}
+
+/// The §8 semi-synchronous windows: step intervals in `[c1, c2]` and
+/// message delays in `[0, d]`, adversary-chosen, *enforced* (out-of-range
+/// choices panic, as in the timed executor).
+pub struct SemisyncPolicy<'a> {
+    adversary: &'a mut dyn TimedAdversary,
+    params: TimedParams,
+}
+
+impl<'a> SemisyncPolicy<'a> {
+    /// Wraps an adversary in `params`' timing windows.
+    pub fn new(adversary: &'a mut dyn TimedAdversary, params: TimedParams) -> Self {
+        SemisyncPolicy { adversary, params }
+    }
+}
+
+impl fmt::Debug for SemisyncPolicy<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SemisyncPolicy")
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+impl TimingPolicy for SemisyncPolicy<'_> {
+    fn params(&self) -> TimedParams {
+        self.params
+    }
+    fn first_step(&mut self, p: ProcessId) -> u64 {
+        let dt = self.adversary.step_interval(p, 0, &self.params);
+        assert!(
+            (self.params.c1..=self.params.c2).contains(&dt),
+            "step interval out of range"
+        );
+        dt
+    }
+    fn next_step(&mut self, p: ProcessId, next_index: u64, now: u64) -> u64 {
+        let dt = self.adversary.step_interval(p, next_index, &self.params);
+        assert!(
+            (self.params.c1..=self.params.c2).contains(&dt),
+            "step interval out of range"
+        );
+        now + dt
+    }
+    fn delivery(&mut self, src: ProcessId, dst: ProcessId, now: u64) -> Option<u64> {
+        if !self.adversary.message_delivered(src, dst, now) {
+            return None; // crash-cut broadcast (see trait docs)
+        }
+        let delay = self.adversary.message_delay(src, dst, now, &self.params);
+        assert!(delay <= self.params.d, "message delay exceeds d");
+        Some(now + delay)
+    }
+    fn crash_time(&self, p: ProcessId) -> Option<u64> {
+        self.adversary.crash_time(p)
+    }
+    fn name(&self) -> &'static str {
+        "semisync"
+    }
+}
+
+/// Fully asynchronous timing: the adversary chooses step intervals
+/// (≥ 1) and message delays with *no* upper bound enforced. `params`
+/// is only the range hint handed to randomized adversaries.
+pub struct AsyncPolicy<'a> {
+    adversary: &'a mut dyn TimedAdversary,
+    params: TimedParams,
+}
+
+impl<'a> AsyncPolicy<'a> {
+    /// Wraps an adversary; `params` is the hint range for randomized
+    /// adversaries, not an enforced window.
+    pub fn new(adversary: &'a mut dyn TimedAdversary, params: TimedParams) -> Self {
+        AsyncPolicy { adversary, params }
+    }
+}
+
+impl fmt::Debug for AsyncPolicy<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncPolicy")
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+impl TimingPolicy for AsyncPolicy<'_> {
+    fn params(&self) -> TimedParams {
+        self.params
+    }
+    fn first_step(&mut self, p: ProcessId) -> u64 {
+        self.adversary.step_interval(p, 0, &self.params).max(1)
+    }
+    fn next_step(&mut self, p: ProcessId, next_index: u64, now: u64) -> u64 {
+        now + self
+            .adversary
+            .step_interval(p, next_index, &self.params)
+            .max(1)
+    }
+    fn delivery(&mut self, src: ProcessId, dst: ProcessId, now: u64) -> Option<u64> {
+        if !self.adversary.message_delivered(src, dst, now) {
+            return None;
+        }
+        Some(now + self.adversary.message_delay(src, dst, now, &self.params))
+    }
+    fn crash_time(&self, p: ProcessId) -> Option<u64> {
+        self.adversary.crash_time(p)
+    }
+    fn name(&self) -> &'static str {
+        "async"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Policy-driven protocol runner (the unified hot loop)
+// ---------------------------------------------------------------------------
+
+/// Options for [`run_policy`].
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyRun {
+    /// Hard time horizon.
+    pub max_time: u64,
+    /// Stop once this many messages have been delivered.
+    pub stop_after_messages: Option<u64>,
+    /// Keep the full event log (off for heavy-traffic runs; invariants
+    /// are checked either way).
+    pub log_events: bool,
+}
+
+impl Default for PolicyRun {
+    fn default() -> Self {
+        PolicyRun {
+            max_time: u64::MAX,
+            stop_after_messages: None,
+            log_events: true,
+        }
+    }
+}
+
+struct TimedReactor<'a, P: TimedProtocol> {
+    protocol: &'a P,
+    policy: &'a mut dyn TimingPolicy,
+    states: Vec<Option<P::State>>,
+    decisions: Vec<Option<(u64, P::Output)>>,
+}
+
+impl<P: TimedProtocol> Reactor<P::Msg> for TimedReactor<'_, P> {
+    fn crash_time(&self, p: ProcessId) -> Option<u64> {
+        self.policy.crash_time(p)
+    }
+
+    fn on_start(&mut self, ctl: &mut Ctl<'_, P::Msg>) {
+        for i in 0..self.states.len() {
+            let p = ProcessId(i as u32);
+            let at = self.policy.first_step(p);
+            ctl.schedule_step(p, at);
+        }
+    }
+
+    fn on_step(
+        &mut self,
+        p: ProcessId,
+        now: u64,
+        step: u64,
+        inbox: &[(ProcessId, P::Msg)],
+        ctl: &mut Ctl<'_, P::Msg>,
+    ) {
+        let st = self.states[p.index()].take().expect("state present");
+        let (st, broadcast, decision) = self.protocol.on_step(st, now, step, inbox);
+        self.states[p.index()] = Some(st);
+        if let Some(msg) = broadcast {
+            for q in (0..ctl.n() as u32).map(ProcessId).filter(|q| *q != p) {
+                if let Some(at) = self.policy.delivery(p, q, now) {
+                    ctl.send(p, q, at, msg.clone());
+                }
+            }
+        }
+        if let Some(out) = decision {
+            self.decisions[p.index()] = Some((now, out));
+            ctl.decide(p);
+        } else {
+            let at = self.policy.next_step(p, step + 1, now);
+            ctl.schedule_step(p, at);
+        }
+    }
+}
+
+/// Runs `protocol` for `n_plus_1` processes under the given timing
+/// policy — the unified execution path behind `TimedExecutor` (with
+/// [`SemisyncPolicy`]) and the `psph traffic` heavy-traffic runs.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != n_plus_1` or the policy rejects an
+/// adversary choice (out-of-window interval or delay).
+pub fn run_policy<P: TimedProtocol>(
+    protocol: &P,
+    n_plus_1: usize,
+    inputs: &[P::Input],
+    policy: &mut dyn TimingPolicy,
+    run: PolicyRun,
+) -> TimedTrace<P::Output> {
+    run_policy_with_stats(protocol, n_plus_1, inputs, policy, run).0
+}
+
+/// [`run_policy`] returning the scheduler counters alongside the trace.
+pub fn run_policy_with_stats<P: TimedProtocol>(
+    protocol: &P,
+    n_plus_1: usize,
+    inputs: &[P::Input],
+    policy: &mut dyn TimingPolicy,
+    run: PolicyRun,
+) -> (TimedTrace<P::Output>, SchedStats) {
+    assert_eq!(inputs.len(), n_plus_1, "one input per process");
+    let params = policy.params();
+    let states: Vec<Option<P::State>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Some(protocol.init(ProcessId(i as u32), n_plus_1, v.clone(), &params)))
+        .collect();
+    let mut reactor = TimedReactor {
+        protocol,
+        policy,
+        states,
+        decisions: (0..n_plus_1).map(|_| None).collect(),
+    };
+    let mut sched = Scheduler::new(
+        n_plus_1,
+        SchedConfig {
+            max_time: run.max_time,
+            halt_decided: true,
+            auto_halt_decided: true,
+            log_events: run.log_events,
+            stop_after_delivered: run.stop_after_messages,
+        },
+    );
+    sched.run(&mut reactor);
+    let stats = sched.stats();
+    let decisions: BTreeMap<ProcessId, (u64, P::Output)> = reactor
+        .decisions
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (ProcessId(i as u32), d)))
+        .collect();
+    let trace = TimedTrace::from_parts(
+        decisions,
+        sched.crashes_map(),
+        sched.steps_map(),
+        sched.delivered(),
+        sched.end_time(),
+        sched.take_events(),
+    );
+    (trace, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Shared synchronous round kernel
+// ---------------------------------------------------------------------------
+
+/// Builds each survivor's round inbox from the senders' messages and the
+/// per-crasher recipient choices — the one delivery rule all synchronous
+/// round machinery shares (the executor facade, the exhaustive
+/// execution enumerator, and the view enumerator).
+///
+/// `msgs` holds the message of every process that broadcasts this round;
+/// survivors receive every surviving sender's message plus each
+/// crasher's message iff they are in that crasher's recipient set.
+pub fn round_inboxes<M: Clone>(
+    msgs: &BTreeMap<ProcessId, M>,
+    survivors: &BTreeSet<ProcessId>,
+    crashers: &[(ProcessId, &BTreeSet<ProcessId>)],
+) -> BTreeMap<ProcessId, BTreeMap<ProcessId, M>> {
+    survivors
+        .iter()
+        .map(|s| {
+            let mut inbox: BTreeMap<ProcessId, M> = BTreeMap::new();
+            for q in survivors {
+                if let Some(m) = msgs.get(q) {
+                    inbox.insert(*q, m.clone());
+                }
+            }
+            for (c, recipients) in crashers {
+                if recipients.contains(s) {
+                    if let Some(m) = msgs.get(c) {
+                        inbox.insert(*c, m.clone());
+                    }
+                }
+            }
+            (*s, inbox)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Heavy-traffic runner
+// ---------------------------------------------------------------------------
+
+/// The traffic workload: every process broadcasts its step number on
+/// every step and counts what it hears; it never decides (the run is
+/// bounded by the message target or horizon).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepGossip;
+
+impl TimedProtocol for StepGossip {
+    type Input = u8;
+    type State = u64;
+    type Msg = u32;
+    type Output = u64;
+
+    fn init(&self, _me: ProcessId, _n: usize, _input: u8, _p: &TimedParams) -> u64 {
+        0
+    }
+
+    fn on_step(
+        &self,
+        state: u64,
+        _now: u64,
+        step: u64,
+        inbox: &[(ProcessId, u32)],
+    ) -> (u64, Option<u32>, Option<u64>) {
+        (state + inbox.len() as u64, Some(step as u32), None)
+    }
+}
+
+/// The result of a [`traffic_run`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficReport {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Number of processes.
+    pub n: usize,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Deliveries dropped at crashed receivers.
+    pub dropped: u64,
+    /// Steps executed.
+    pub steps: u64,
+    /// Productive events processed.
+    pub events: u64,
+    /// Crashes detected.
+    pub crashes: u64,
+    /// Virtual end time (ticks).
+    pub end_time: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: std::time::Duration,
+    /// Whether the always-on invariant checks (chronology, FIFO per
+    /// channel, delivery accounting) all held. A run that violates one
+    /// panics instead of returning, so a report always says `true`; the
+    /// field exists so callers surface the fact explicitly.
+    pub invariants_ok: bool,
+}
+
+impl TrafficReport {
+    /// Productive events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the [`StepGossip`] workload under `policy` until `messages`
+/// deliveries (or the horizon), with always-on invariant checks and no
+/// event-log retention — the heavy-traffic configuration
+/// (`psph traffic`).
+pub fn traffic_run(
+    n_plus_1: usize,
+    messages: u64,
+    policy: &mut dyn TimingPolicy,
+    max_time: u64,
+) -> TrafficReport {
+    let inputs = vec![0u8; n_plus_1];
+    let name = policy.name();
+    let start = std::time::Instant::now();
+    let (_, stats) = run_policy_with_stats(
+        &StepGossip,
+        n_plus_1,
+        &inputs,
+        policy,
+        PolicyRun {
+            max_time,
+            stop_after_messages: Some(messages),
+            log_events: false,
+        },
+    );
+    TrafficReport {
+        policy: name,
+        n: n_plus_1,
+        delivered: stats.delivered,
+        dropped: stats.dropped,
+        steps: stats.steps,
+        events: stats.events,
+        crashes: stats.crashes,
+        end_time: stats.end_time,
+        elapsed: start.elapsed(),
+        invariants_ok: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semisync_exec::Lockstep;
+
+    #[test]
+    fn queue_orders_by_time_kind_seq() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push_step(5, ProcessId(0));
+        q.push_deliver(5, ProcessId(1), ProcessId(0), 9);
+        q.push_deliver(3, ProcessId(0), ProcessId(1), 7);
+        assert_eq!(q.len(), 3);
+        // time 3 deliver first
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::Deliver { msg: 7, .. }
+        ));
+        // at time 5, deliver before step
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::Deliver { msg: 9, .. }
+        ));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Step { .. }));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn policies_expose_names_and_params() {
+        let mut a = Lockstep;
+        let p = TimedParams::new(1, 2, 3);
+        assert_eq!(SyncPolicy::new(&mut a).name(), "sync");
+        assert_eq!(SemisyncPolicy::new(&mut a, p).name(), "semisync");
+        assert_eq!(AsyncPolicy::new(&mut a, p).params(), p);
+    }
+
+    #[test]
+    fn sync_policy_is_lockstep_rounds() {
+        let mut adv = Lockstep;
+        let mut pol = SyncPolicy::new(&mut adv);
+        assert_eq!(pol.first_step(ProcessId(0)), 1);
+        assert_eq!(pol.next_step(ProcessId(0), 1, 4), 5);
+        assert_eq!(pol.delivery(ProcessId(0), ProcessId(1), 4), Some(5));
+        assert_eq!(pol.crash_time(ProcessId(0)), None);
+    }
+
+    #[test]
+    fn traffic_run_hits_message_target() {
+        let mut adv = Lockstep;
+        let mut pol = SyncPolicy::new(&mut adv);
+        let report = traffic_run(4, 100, &mut pol, u64::MAX);
+        assert!(report.delivered >= 100, "{report:?}");
+        assert_eq!(report.policy, "sync");
+        assert!(report.invariants_ok);
+        assert!(report.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn traffic_run_respects_horizon() {
+        let mut adv = Lockstep;
+        let params = TimedParams::new(1, 1, 2);
+        let mut pol = SemisyncPolicy::new(&mut adv, params);
+        let report = traffic_run(3, u64::MAX, &mut pol, 50);
+        assert_eq!(report.end_time, 50);
+    }
+
+    #[test]
+    fn round_inboxes_respects_recipient_sets() {
+        let msgs: BTreeMap<ProcessId, u8> = (0..3u32).map(|i| (ProcessId(i), i as u8)).collect();
+        let survivors: BTreeSet<ProcessId> = [ProcessId(0), ProcessId(1)].into_iter().collect();
+        let recipients: BTreeSet<ProcessId> = [ProcessId(1)].into_iter().collect();
+        let crashers = [(ProcessId(2), &recipients)];
+        let inboxes = round_inboxes(&msgs, &survivors, &crashers);
+        assert_eq!(inboxes[&ProcessId(0)].len(), 2); // P0, P1
+        assert_eq!(inboxes[&ProcessId(1)].len(), 3); // + crasher P2
+    }
+}

@@ -282,7 +282,7 @@ impl TimedEvent {
 }
 
 /// The record of a timed execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TimedTrace<O> {
     decisions: BTreeMap<ProcessId, (u64, O)>,
     crashes: BTreeMap<ProcessId, u64>,
@@ -293,6 +293,25 @@ pub struct TimedTrace<O> {
 }
 
 impl<O: Label> TimedTrace<O> {
+    /// Assembles a trace from the unified scheduler's outputs.
+    pub(crate) fn from_parts(
+        decisions: BTreeMap<ProcessId, (u64, O)>,
+        crashes: BTreeMap<ProcessId, u64>,
+        steps_taken: BTreeMap<ProcessId, u64>,
+        messages_delivered: u64,
+        end_time: u64,
+        events: Vec<TimedEvent>,
+    ) -> Self {
+        TimedTrace {
+            decisions,
+            crashes,
+            steps_taken,
+            messages_delivered,
+            end_time,
+            events,
+        }
+    }
+
     /// The decision of `p` and its time.
     pub fn decision(&self, p: ProcessId) -> Option<&(u64, O)> {
         self.decisions.get(&p)
@@ -482,11 +501,38 @@ impl<P: TimedProtocol> TimedExecutor<P> {
 
     /// Runs until every alive process decides or `max_time` passes.
     ///
+    /// This is a facade over the unified scheduler
+    /// ([`crate::sched::run_policy`] with [`crate::sched::SemisyncPolicy`]);
+    /// it produces traces byte-identical to [`TimedExecutor::run_legacy`]
+    /// (pinned by `tests/runtime_equivalence.rs`).
+    ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != n_plus_1` or the adversary returns an
     /// out-of-range interval/delay.
     pub fn run(
+        &self,
+        inputs: &[P::Input],
+        adversary: &mut dyn TimedAdversary,
+        max_time: u64,
+    ) -> TimedTrace<P::Output> {
+        let mut policy = crate::sched::SemisyncPolicy::new(adversary, self.params);
+        crate::sched::run_policy(
+            &self.protocol,
+            self.n_plus_1,
+            inputs,
+            &mut policy,
+            crate::sched::PolicyRun {
+                max_time,
+                stop_after_messages: None,
+                log_events: true,
+            },
+        )
+    }
+
+    /// The pre-unification event loop, retained verbatim as the
+    /// differential-testing oracle for [`TimedExecutor::run`].
+    pub fn run_legacy(
         &self,
         inputs: &[P::Input],
         adversary: &mut dyn TimedAdversary,

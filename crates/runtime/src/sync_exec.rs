@@ -19,6 +19,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::protocol::{FullInformation, RoundProtocol};
+use crate::sched::{round_inboxes, Ctl, Reactor, SchedConfig, Scheduler};
 use crate::trace::SyncTrace;
 
 /// The adversary's plan for one synchronous round: each crashing process
@@ -143,11 +144,65 @@ impl<P: RoundProtocol> SyncExecutor<P> {
     /// Runs up to `max_rounds` rounds (or until every alive process has
     /// decided), with failures chosen by `adversary`.
     ///
+    /// This is a facade over the unified scheduler (`crate::sched`): each
+    /// round becomes one tick of lockstep timing, with the round's
+    /// messages flowing through the scheduler's event queue as `Deliver`
+    /// events before the survivors' `Step` events. Traces are identical
+    /// to [`SyncExecutor::run_legacy`] (pinned by
+    /// `tests/runtime_equivalence.rs`).
+    ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != n_plus_1`, or if the adversary crashes
     /// a dead process or exceeds the budget.
     pub fn run(
+        &self,
+        inputs: &[P::Input],
+        adversary: &mut dyn SyncAdversary,
+        max_rounds: usize,
+    ) -> SyncTrace<P::State, P::Output> {
+        assert_eq!(inputs.len(), self.n_plus_1, "one input per process");
+        let states: BTreeMap<ProcessId, P::State> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let p = ProcessId(i as u32);
+                (p, self.protocol.init(p, self.n_plus_1, v.clone()))
+            })
+            .collect();
+        let alive: BTreeSet<ProcessId> = states.keys().copied().collect();
+        let mut reactor = SyncReactor {
+            protocol: &self.protocol,
+            adversary,
+            states,
+            alive,
+            budget: self.f_total,
+            max_rounds,
+            round: 0,
+            pending: 0,
+            trace: SyncTrace::new(),
+        };
+        let mut sched = Scheduler::new(
+            self.n_plus_1,
+            SchedConfig {
+                max_time: u64::MAX,
+                halt_decided: false,
+                auto_halt_decided: false,
+                log_events: false,
+                stop_after_delivered: None,
+            },
+        );
+        sched.run(&mut reactor);
+        let SyncReactor {
+            mut trace, states, ..
+        } = reactor;
+        trace.finish(states);
+        trace
+    }
+
+    /// The pre-unification round loop, retained verbatim as the
+    /// differential-testing oracle for [`SyncExecutor::run`].
+    pub fn run_legacy(
         &self,
         inputs: &[P::Input],
         adversary: &mut dyn SyncAdversary,
@@ -232,6 +287,124 @@ impl<P: RoundProtocol> SyncExecutor<P> {
     }
 }
 
+/// The synchronous round machine expressed as a scheduler reactor:
+/// round `r` occupies tick `r`, with the round's deliveries scheduled
+/// at tick `r` (deliveries sort before steps) followed by one step per
+/// survivor. Round `r + 1` is planned inside the round's final step.
+struct SyncReactor<'a, P: RoundProtocol> {
+    protocol: &'a P,
+    adversary: &'a mut dyn SyncAdversary,
+    states: BTreeMap<ProcessId, P::State>,
+    alive: BTreeSet<ProcessId>,
+    budget: usize,
+    max_rounds: usize,
+    round: usize,
+    pending: usize,
+    trace: SyncTrace<P::State, P::Output>,
+}
+
+impl<P: RoundProtocol> SyncReactor<'_, P> {
+    /// Plans round `self.round`: asks the adversary for failures,
+    /// schedules the round's deliveries and steps, applies crashes.
+    fn plan_round(&mut self, ctl: &mut Ctl<'_, P::Msg>) {
+        let round = self.round;
+        let plan = self.adversary.plan_round(round, &self.alive, self.budget);
+        for (p, recipients) in &plan.crashes {
+            assert!(self.alive.contains(p), "adversary crashed dead process {p}");
+            assert!(
+                recipients.iter().all(|q| self.alive.contains(q) && q != p),
+                "recipients must be alive others"
+            );
+        }
+        assert!(plan.crashes.len() <= self.budget, "failure budget exceeded");
+        self.budget -= plan.crashes.len();
+
+        // messages (computed before the crashes take effect)
+        let msgs: BTreeMap<ProcessId, P::Msg> = self
+            .alive
+            .iter()
+            .map(|p| (*p, self.protocol.message(&self.states[p])))
+            .collect();
+        let survivors: BTreeSet<ProcessId> = self
+            .alive
+            .iter()
+            .copied()
+            .filter(|p| !plan.crashes.contains_key(p))
+            .collect();
+        let crashers: Vec<(ProcessId, &BTreeSet<ProcessId>)> =
+            plan.crashes.iter().map(|(p, r)| (*p, r)).collect();
+        let t = round as u64;
+        for (q, inbox) in round_inboxes(&msgs, &survivors, &crashers) {
+            for (src, m) in inbox {
+                ctl.send(src, q, t, m);
+            }
+        }
+
+        // crashes take effect
+        for (p, _) in plan.crashes.iter() {
+            self.alive.remove(p);
+            self.states.remove(p);
+            self.trace.record_crash(*p, round);
+        }
+
+        if self.alive.is_empty() {
+            self.trace.record_round(self.states.clone());
+            ctl.halt();
+            return;
+        }
+        for q in self.alive.iter() {
+            ctl.schedule_step(*q, t);
+        }
+        self.pending = self.alive.len();
+    }
+}
+
+impl<P: RoundProtocol> Reactor<P::Msg> for SyncReactor<'_, P> {
+    fn on_start(&mut self, ctl: &mut Ctl<'_, P::Msg>) {
+        if self.max_rounds == 0 {
+            return;
+        }
+        self.round = 1;
+        self.plan_round(ctl);
+    }
+
+    fn on_step(
+        &mut self,
+        p: ProcessId,
+        _now: u64,
+        _step: u64,
+        inbox: &[(ProcessId, P::Msg)],
+        ctl: &mut Ctl<'_, P::Msg>,
+    ) {
+        let round = self.round;
+        let inbox_map: BTreeMap<ProcessId, P::Msg> = inbox.iter().cloned().collect();
+        let st = self.states.remove(&p).unwrap();
+        let st = self.protocol.on_round(st, &inbox_map, round);
+        self.states.insert(p, st);
+        self.pending -= 1;
+        if self.pending > 0 {
+            return;
+        }
+        // round complete: record, decide, plan the next round
+        self.trace.record_round(self.states.clone());
+        let mut all_decided = true;
+        for (q, st) in &self.states {
+            if self.trace.decision(*q).is_none() {
+                match self.protocol.decide(st, round) {
+                    Some(out) => self.trace.record_decision(*q, round, out),
+                    None => all_decided = false,
+                }
+            }
+        }
+        if all_decided || round >= self.max_rounds {
+            ctl.halt();
+        } else {
+            self.round = round + 1;
+            self.plan_round(ctl);
+        }
+    }
+}
+
 /// Exhaustively enumerates every §7-structured execution of the
 /// full-information protocol and returns the complex of reachable final
 /// global states — the simulator-side `S^r` (cross-checked against
@@ -291,20 +464,17 @@ fn enumerate_rec(
             .collect();
         let mut idx = vec![0usize; crashing.len()];
         'combos: loop {
-            // build inboxes
-            let mut next: BTreeMap<ProcessId, View<u8>> = BTreeMap::new();
-            for s in &survivors {
-                let mut inbox: BTreeMap<ProcessId, View<u8>> = BTreeMap::new();
-                for q in &survivors {
-                    inbox.insert(*q, states[q].clone());
-                }
-                for (ci, c) in crashing.iter().enumerate() {
-                    if recipient_choices[ci][idx[ci]].contains(s) {
-                        inbox.insert(*c, states[c].clone());
-                    }
-                }
-                next.insert(*s, protocol.on_round(states[s].clone(), &inbox, round));
-            }
+            // build inboxes (full information: message = state)
+            let crasher_recips: Vec<(ProcessId, &BTreeSet<ProcessId>)> = crashing
+                .iter()
+                .enumerate()
+                .map(|(ci, c)| (*c, &recipient_choices[ci][idx[ci]]))
+                .collect();
+            let inboxes = round_inboxes(&states, &survivors, &crasher_recips);
+            let next: BTreeMap<ProcessId, View<u8>> = survivors
+                .iter()
+                .map(|s| (*s, protocol.on_round(states[s].clone(), &inboxes[s], round)))
+                .collect();
             enumerate_rec(
                 protocol,
                 next,

@@ -6,7 +6,7 @@ use ps_core::ProcessId;
 use ps_topology::{Complex, InternedBuilder, Label};
 
 /// The record of one synchronous (or round-structured) execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SyncTrace<S, O> {
     decisions: BTreeMap<ProcessId, (usize, O)>,
     crashes: BTreeMap<ProcessId, usize>,

@@ -1,0 +1,396 @@
+//! Legacy-facade vs. unified-scheduler trace equivalence.
+//!
+//! Each executor's `run` is now a facade over `ps-runtime::sched`; the
+//! pre-unification event loops are retained as `run_legacy` oracles.
+//! This differential suite pins byte-identical output (compared through
+//! `Eq` on the full trace structs, which covers event order, decision
+//! and crash maps, histories, and accounting counters) across:
+//!
+//! * **synchronous** — the *complete* adversary tree for n = 3, f = 1,
+//!   r ≤ 2 (every crash set and recipient subset per round), plus
+//!   seeded `RandomAdversary` runs;
+//! * **semi-synchronous** — every `ScriptedPattern` delivery choice for
+//!   the Lemma 19 set-up, `Lockstep`, `StretchAdversary`, and seeded
+//!   `RandomTimedAdversary` runs (including crash schedules and tight
+//!   horizons);
+//! * **asynchronous** — every heard-set plan for n = 3, f = 1, r = 1,
+//!   `Alternating`-style backlog schedules on the buffered executor,
+//!   and seeded `RandomAsyncAdversary` runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pseudosphere::core::{process_set, subsets_of_min_size, subsets_up_to_size_lex, ProcessId};
+use pseudosphere::runtime::{
+    AsyncAdversary, AsyncExecutor, BufferedAsyncExecutor, FullDelivery, FullInformation, HeardSets,
+    Lockstep, RandomAdversary, RandomAsyncAdversary, RandomTimedAdversary, RoundFailures,
+    ScriptedAdversary, ScriptedPattern, StretchAdversary, SyncExecutor, TimedExecutor, TimedParams,
+    TimedProtocol,
+};
+
+// ---------------------------------------------------------------------------
+// synchronous
+// ---------------------------------------------------------------------------
+
+/// The cartesian product of the per-slot choice lists.
+fn cartesian<T: Clone>(choices: &[Vec<T>]) -> Vec<Vec<T>> {
+    let mut out = vec![Vec::new()];
+    for slot in choices {
+        out = out
+            .into_iter()
+            .flat_map(|prefix| {
+                slot.iter().map(move |c| {
+                    let mut next = prefix.clone();
+                    next.push(c.clone());
+                    next
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+/// Enumerates every consistent adversary script for `n` processes with
+/// total budget `f` over `rounds` rounds: each round a crash set among
+/// the then-alive processes (within the remaining budget) and every
+/// recipient subset of that round's survivors per crasher.
+fn all_sync_scripts(n: u32, f: usize, rounds: usize) -> Vec<Vec<RoundFailures>> {
+    fn rec(
+        alive: &BTreeSet<ProcessId>,
+        budget: usize,
+        rounds_left: usize,
+        prefix: Vec<RoundFailures>,
+        out: &mut Vec<Vec<RoundFailures>>,
+    ) {
+        if rounds_left == 0 {
+            out.push(prefix);
+            return;
+        }
+        for crash_set in subsets_up_to_size_lex(alive, budget) {
+            let survivors: BTreeSet<ProcessId> = alive.difference(&crash_set).copied().collect();
+            let crashing: Vec<ProcessId> = crash_set.iter().copied().collect();
+            let per_crasher: Vec<Vec<BTreeSet<ProcessId>>> = crashing
+                .iter()
+                .map(|_| subsets_up_to_size_lex(&survivors, survivors.len()))
+                .collect();
+            for recips in cartesian(&per_crasher) {
+                let plan = RoundFailures {
+                    crashes: crashing.iter().copied().zip(recips).collect(),
+                };
+                let mut next = prefix.clone();
+                next.push(plan);
+                if survivors.is_empty() {
+                    // the run halts this round; no deeper branches exist
+                    out.push(next);
+                } else {
+                    rec(
+                        &survivors,
+                        budget - crash_set.len(),
+                        rounds_left - 1,
+                        next,
+                        out,
+                    );
+                }
+            }
+        }
+    }
+    let alive: BTreeSet<ProcessId> = (0..n).map(ProcessId).collect();
+    let mut out = Vec::new();
+    rec(&alive, f, rounds, Vec::new(), &mut out);
+    out
+}
+
+#[test]
+fn sync_exhaustive_small_n_equivalence() {
+    // n = 3, f = 1, r ≤ 2: the full adversary tree.
+    for rounds in 1..=2usize {
+        let scripts = all_sync_scripts(3, 1, rounds);
+        assert!(
+            scripts.len() >= 13,
+            "expected a non-trivial script set, got {}",
+            scripts.len()
+        );
+        for script in scripts {
+            let exec = SyncExecutor::new(FullInformation::new(), 3, 1);
+            let mut a1 = ScriptedAdversary {
+                script: script.clone(),
+            };
+            let mut a2 = ScriptedAdversary { script };
+            let unified = exec.run(&[0, 1, 2], &mut a1, rounds);
+            let legacy = exec.run_legacy(&[0, 1, 2], &mut a2, rounds);
+            assert_eq!(unified, legacy);
+        }
+    }
+}
+
+#[test]
+fn sync_seeded_random_equivalence() {
+    for seed in 0..50u64 {
+        let exec = SyncExecutor::new(FullInformation::new(), 4, 2);
+        let unified = exec.run(&[0, 1, 2, 3], &mut RandomAdversary::new(seed, 1, 0.7), 3);
+        let legacy = exec.run_legacy(&[0, 1, 2, 3], &mut RandomAdversary::new(seed, 1, 0.7), 3);
+        assert_eq!(unified, legacy, "seed {seed}");
+    }
+}
+
+#[test]
+fn sync_zero_rounds_equivalence() {
+    let exec = SyncExecutor::new(FullInformation::new(), 3, 1);
+    let unified = exec.run(&[0, 1, 2], &mut ScriptedAdversary::default(), 0);
+    let legacy = exec.run_legacy(&[0, 1, 2], &mut ScriptedAdversary::default(), 0);
+    assert_eq!(unified, legacy);
+}
+
+// ---------------------------------------------------------------------------
+// semi-synchronous
+// ---------------------------------------------------------------------------
+
+/// The `RoundObserver` used by `tests/semisync_runtime.rs`, reduced:
+/// broadcast the microround at each of the first `p` steps, decide the
+/// heard map at step `p`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Observer;
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct ObserverState {
+    p: u64,
+    heard: Vec<(u32, u32)>,
+}
+
+impl TimedProtocol for Observer {
+    type Input = u8;
+    type State = ObserverState;
+    type Msg = u32;
+    type Output = Vec<(u32, u32)>;
+
+    fn init(&self, _me: ProcessId, _n: usize, _input: u8, params: &TimedParams) -> ObserverState {
+        ObserverState {
+            p: params.microrounds(),
+            heard: Vec::new(),
+        }
+    }
+
+    fn on_step(
+        &self,
+        mut state: ObserverState,
+        _now: u64,
+        step: u64,
+        inbox: &[(ProcessId, u32)],
+    ) -> (ObserverState, Option<u32>, Option<Vec<(u32, u32)>>) {
+        state.heard.extend(inbox.iter().map(|(q, mu)| (q.0, *mu)));
+        let p = state.p;
+        let broadcast = (step < p).then_some(step as u32 + 1);
+        let decide = (step == p).then(|| state.heard.clone());
+        (state, broadcast, decide)
+    }
+}
+
+#[test]
+fn semisync_scripted_pattern_equivalence() {
+    // every delivery choice of one crasher's final broadcast, for every
+    // crasher and failure step — the Lemma 19 enumeration.
+    let params = TimedParams::new(2, 4, 4);
+    let all: Vec<ProcessId> = (0..3u32).map(ProcessId).collect();
+    for crasher in &all {
+        let survivors: Vec<ProcessId> = all.iter().copied().filter(|q| q != crasher).collect();
+        for fail_step in 1..=params.microrounds() {
+            for mask in 0u32..(1 << survivors.len()) {
+                let delivered: BTreeSet<(ProcessId, ProcessId)> = survivors
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, s)| (*crasher, *s))
+                    .collect();
+                let adv = ScriptedPattern::new(
+                    [(*crasher, fail_step)].into_iter().collect(),
+                    delivered,
+                    &params,
+                );
+                let exec = TimedExecutor::new(Observer, 3, params);
+                let unified = exec.run(&[0, 1, 2], &mut adv.clone(), 1000);
+                let legacy = exec.run_legacy(&[0, 1, 2], &mut adv.clone(), 1000);
+                assert_eq!(unified, legacy, "crasher={crasher} F={fail_step} m={mask}");
+            }
+        }
+    }
+}
+
+#[test]
+fn semisync_lockstep_and_stretch_equivalence() {
+    for (c1, c2, d) in [(1u64, 1u64, 1u64), (1, 2, 4), (2, 6, 8), (3, 3, 8)] {
+        let params = TimedParams::new(c1, c2, d);
+        let exec = TimedExecutor::new(Observer, 3, params);
+        assert_eq!(
+            exec.run(&[0, 1, 2], &mut Lockstep, 500),
+            exec.run_legacy(&[0, 1, 2], &mut Lockstep, 500),
+        );
+        for crash_at in [0u64, 1, 5] {
+            let mut a1 = StretchAdversary {
+                survivor: ProcessId(0),
+                crash_at,
+            };
+            let mut a2 = a1;
+            assert_eq!(
+                exec.run(&[0, 1, 2], &mut a1, 500),
+                exec.run_legacy(&[0, 1, 2], &mut a2, 500),
+            );
+        }
+    }
+}
+
+#[test]
+fn semisync_seeded_random_equivalence() {
+    for seed in 0..60u64 {
+        // vary crash schedules and horizon tightness with the seed
+        let crashes: BTreeMap<ProcessId, u64> = match seed % 4 {
+            0 => BTreeMap::new(),
+            1 => [(ProcessId(1), 3 + seed % 7)].into_iter().collect(),
+            2 => [(ProcessId(0), 2), (ProcessId(2), 9)].into_iter().collect(),
+            _ => [(ProcessId(3), 1 + seed % 5)].into_iter().collect(),
+        };
+        let params = TimedParams::new(1, 1 + seed % 3, 1 + seed % 5);
+        let horizon = 20 + seed % 50;
+        let exec = TimedExecutor::new(Observer, 4, params);
+        let unified = exec.run(
+            &[0; 4],
+            &mut RandomTimedAdversary::new(seed, crashes.clone()),
+            horizon,
+        );
+        let legacy = exec.run_legacy(
+            &[0; 4],
+            &mut RandomTimedAdversary::new(seed, crashes),
+            horizon,
+        );
+        assert_eq!(unified, legacy, "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// asynchronous
+// ---------------------------------------------------------------------------
+
+/// A fixed one-round heard-set plan as an adversary.
+#[derive(Clone, Debug)]
+struct FixedPlan(HeardSets);
+
+impl AsyncAdversary for FixedPlan {
+    fn plan_round(&mut self, _: usize, _: &BTreeSet<ProcessId>, _: usize) -> HeardSets {
+        self.0.clone()
+    }
+}
+
+/// Backlog-building adversary (odd rounds: hear a fixed pair; even
+/// rounds: hear everyone), as in the buffered executor's tests.
+struct Alternating;
+
+impl AsyncAdversary for Alternating {
+    fn plan_round(
+        &mut self,
+        round: usize,
+        participants: &BTreeSet<ProcessId>,
+        _min_heard: usize,
+    ) -> HeardSets {
+        participants
+            .iter()
+            .map(|p| {
+                let heard: BTreeSet<ProcessId> = if round % 2 == 1 {
+                    let mut h: BTreeSet<ProcessId> = participants.iter().copied().take(2).collect();
+                    h.insert(*p);
+                    h
+                } else {
+                    participants.clone()
+                };
+                (*p, heard)
+            })
+            .collect()
+    }
+}
+
+/// Every one-round heard-set plan for the participants (each heard set
+/// contains self and has ≥ `min_heard` members).
+fn all_async_plans(participants: &BTreeSet<ProcessId>, min_heard: usize) -> Vec<HeardSets> {
+    let procs: Vec<ProcessId> = participants.iter().copied().collect();
+    let choices: Vec<Vec<BTreeSet<ProcessId>>> = procs
+        .iter()
+        .map(|p| {
+            let others: BTreeSet<ProcessId> =
+                participants.iter().copied().filter(|q| q != p).collect();
+            subsets_of_min_size(&others, min_heard.saturating_sub(1))
+                .into_iter()
+                .map(|mut m| {
+                    m.insert(*p);
+                    m
+                })
+                .collect()
+        })
+        .collect();
+    let mut idx = vec![0usize; procs.len()];
+    let mut out = Vec::new();
+    'combos: loop {
+        out.push(
+            procs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (*p, choices[i][idx[i]].clone()))
+                .collect(),
+        );
+        let mut i = 0;
+        loop {
+            if i == procs.len() {
+                break 'combos;
+            }
+            idx[i] += 1;
+            if idx[i] < choices[i].len() {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn async_exhaustive_one_round_equivalence() {
+    let parts = process_set(3);
+    let plans = all_async_plans(&parts, 2);
+    assert_eq!(plans.len(), 27, "3 heard-set choices per process");
+    for plan in plans {
+        let exec = AsyncExecutor::new(FullInformation::new(), 3, 1);
+        let unified = exec.run(&[0, 1, 2], &parts, &mut FixedPlan(plan.clone()), 1);
+        let legacy = exec.run_legacy(&[0, 1, 2], &parts, &mut FixedPlan(plan), 1);
+        assert_eq!(unified, legacy);
+    }
+}
+
+#[test]
+fn async_seeded_random_equivalence() {
+    let parts = process_set(4);
+    for seed in 0..50u64 {
+        let exec = AsyncExecutor::new(FullInformation::new(), 4, 1);
+        let unified = exec.run(&[0; 4], &parts, &mut RandomAsyncAdversary::new(seed), 2);
+        let legacy = exec.run_legacy(&[0; 4], &parts, &mut RandomAsyncAdversary::new(seed), 2);
+        assert_eq!(unified, legacy, "seed {seed}");
+    }
+}
+
+#[test]
+fn buffered_backlog_equivalence() {
+    let parts = process_set(3);
+    for rounds in 0..=5usize {
+        let exec = BufferedAsyncExecutor::new(FullInformation::new(), 3, 1);
+        let unified = exec.run(&[0, 1, 2], &parts, &mut Alternating, rounds);
+        let legacy = exec.run_legacy(&[0, 1, 2], &parts, &mut Alternating, rounds);
+        assert_eq!(unified, legacy, "rounds {rounds}");
+    }
+    // full delivery and seeded random schedules
+    let exec = BufferedAsyncExecutor::new(FullInformation::new(), 3, 1);
+    assert_eq!(
+        exec.run(&[0, 1, 2], &parts, &mut FullDelivery, 3),
+        exec.run_legacy(&[0, 1, 2], &parts, &mut FullDelivery, 3),
+    );
+    for seed in 0..30u64 {
+        let unified = exec.run(&[0, 1, 2], &parts, &mut RandomAsyncAdversary::new(seed), 3);
+        let legacy = exec.run_legacy(&[0, 1, 2], &parts, &mut RandomAsyncAdversary::new(seed), 3);
+        assert_eq!(unified, legacy, "seed {seed}");
+    }
+}

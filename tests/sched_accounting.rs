@@ -1,0 +1,212 @@
+//! Policy-generic property tests for the unified scheduler.
+//!
+//! The semisync accounting invariants (`tests/semisync_accounting.rs`)
+//! ported to *all three* timing policies, driven through
+//! [`run_policy`] directly rather than the `TimedExecutor` facade.
+//! Over random adversary schedules, every execution under every policy
+//! must satisfy:
+//!
+//! 1. the event log is chronological (non-decreasing timestamps),
+//! 2. message delivery is FIFO per channel — each receiver hears every
+//!    sender's step numbers in strictly increasing order,
+//! 3. `messages_delivered()` equals the number of `Deliver` events,
+//! 4. surviving processes decide within an ample horizon.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use pseudosphere::core::ProcessId;
+use pseudosphere::runtime::{
+    run_policy, AsyncPolicy, PolicyRun, RandomTimedAdversary, SemisyncPolicy, SyncPolicy,
+    TimedEvent, TimedParams, TimedProtocol, TimedTrace, TimingPolicy,
+};
+
+/// Each process broadcasts its step number on every step and decides on
+/// its accumulated `(sender, step)` log once it has taken `decide_step`
+/// steps. The log order is exactly the delivery order at that process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct StepEcho {
+    decide_step: u64,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct EchoState {
+    log: Vec<(u32, u64)>,
+}
+
+impl TimedProtocol for StepEcho {
+    type Input = u8;
+    type State = EchoState;
+    type Msg = u64;
+    type Output = Vec<(u32, u64)>;
+
+    fn init(&self, _me: ProcessId, _n: usize, _input: u8, _p: &TimedParams) -> EchoState {
+        EchoState { log: Vec::new() }
+    }
+
+    fn on_step(
+        &self,
+        mut state: EchoState,
+        _now: u64,
+        step: u64,
+        inbox: &[(ProcessId, u64)],
+    ) -> (EchoState, Option<u64>, Option<Vec<(u32, u64)>>) {
+        state.log.extend(inbox.iter().map(|(p, m)| (p.0, *m)));
+        let decide = (step + 1 >= self.decide_step).then(|| state.log.clone());
+        (state, Some(step), decide)
+    }
+}
+
+/// FIFO per channel: because sender `s` broadcasts strictly increasing
+/// step numbers, receiver logs restricted to `s` must be strictly
+/// increasing.
+fn assert_fifo_per_channel(log: &[(u32, u64)]) {
+    let mut last: BTreeMap<u32, u64> = BTreeMap::new();
+    for &(src, step) in log {
+        if let Some(prev) = last.get(&src) {
+            assert!(
+                step > *prev,
+                "channel from P{src} reordered: step {step} after {prev} in {log:?}"
+            );
+        }
+        last.insert(src, step);
+    }
+}
+
+/// Runs `StepEcho` under the given policy and checks the shared
+/// invariants; returns an error message on the first violation.
+fn check_invariants(
+    trace: &TimedTrace<Vec<(u32, u64)>>,
+    n: usize,
+    crashes: &BTreeMap<ProcessId, u64>,
+    policy_name: &str,
+) -> Result<(), String> {
+    // 1. chronological event log
+    for w in trace.events().windows(2) {
+        if w[0].time() > w[1].time() {
+            return Err(format!(
+                "[{policy_name}] events out of order: {:?} then {:?}",
+                w[0], w[1]
+            ));
+        }
+    }
+
+    // 2. FIFO per channel, at every process that decided
+    for p in 0..n as u32 {
+        if let Some((_, log)) = trace.decision(ProcessId(p)) {
+            assert_fifo_per_channel(log);
+        }
+    }
+    // non-crashed processes must decide (steps are bounded, horizon ample)
+    for p in 0..n as u32 {
+        if !crashes.contains_key(&ProcessId(p)) && trace.decision(ProcessId(p)).is_none() {
+            return Err(format!("[{policy_name}] P{p} failed to decide"));
+        }
+    }
+
+    // 3. the delivered counter matches the logged Deliver events
+    let deliver_events = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TimedEvent::Deliver(_, _, _)))
+        .count() as u64;
+    if trace.messages_delivered() != deliver_events {
+        return Err(format!(
+            "[{policy_name}] delivered counter {} != {} Deliver events",
+            trace.messages_delivered(),
+            deliver_events
+        ));
+    }
+    Ok(())
+}
+
+fn run_and_check(
+    policy: &mut dyn TimingPolicy,
+    n: usize,
+    crashes: &BTreeMap<ProcessId, u64>,
+    horizon: u64,
+) -> Result<(), String> {
+    let name = policy.name().to_owned();
+    let proto = StepEcho { decide_step: 6 };
+    let inputs = vec![0u8; n];
+    let run = PolicyRun {
+        max_time: horizon,
+        ..PolicyRun::default()
+    };
+    let trace = run_policy(&proto, n, &inputs, policy, run);
+    check_invariants(&trace, n, crashes, &name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The three policies over one shared random-adversary family.
+    #[test]
+    fn all_policies_keep_accounting_invariants(
+        seed in 0u64..10_000,
+        n in 2usize..5,
+        c2 in 1u64..4,
+        d in 1u64..6,
+        crash_bits in 0u32..8,
+        crash_at in 1u64..20,
+    ) {
+        // crash a subset of processes (never all: keep at least P0 alive)
+        let crashes: BTreeMap<ProcessId, u64> = (1..n as u32)
+            .filter(|i| crash_bits & (1 << i) != 0)
+            .map(|i| (ProcessId(i), crash_at + i as u64))
+            .collect();
+        let params = TimedParams::new(1, c2, d);
+
+        // synchronous: the adversary's timing draws are ignored (lockstep
+        // rounds), only crash times and delivery verdicts matter.
+        {
+            let mut adv = RandomTimedAdversary::new(seed, crashes.clone());
+            let mut policy = SyncPolicy::new(&mut adv);
+            if let Err(e) = run_and_check(&mut policy, n, &crashes, 200) {
+                return Err(TestCaseError::fail(e));
+            }
+        }
+
+        // semi-synchronous: intervals in [c1, c2], delays in [0, d].
+        {
+            let mut adv = RandomTimedAdversary::new(seed, crashes.clone());
+            let mut policy = SemisyncPolicy::new(&mut adv, params);
+            if let Err(e) = run_and_check(&mut policy, n, &crashes, 200) {
+                return Err(TestCaseError::fail(e));
+            }
+        }
+
+        // asynchronous: same draws, but delays are uncapped by the
+        // policy contract — the invariants must hold regardless.
+        {
+            let mut adv = RandomTimedAdversary::new(seed, crashes.clone());
+            let mut policy = AsyncPolicy::new(&mut adv, params);
+            if let Err(e) = run_and_check(&mut policy, n, &crashes, 400) {
+                return Err(TestCaseError::fail(e));
+            }
+        }
+    }
+}
+
+/// Under `SyncPolicy` every process steps at every tick, so a run with
+/// no crashes delivers exactly `n·(n−1)` messages per completed round.
+#[test]
+fn sync_policy_round_delivery_count() {
+    let n = 4usize;
+    let proto = StepEcho { decide_step: 3 };
+    let inputs = vec![0u8; n];
+    let mut adv = RandomTimedAdversary::new(7, BTreeMap::new());
+    let mut policy = SyncPolicy::new(&mut adv);
+    let run = PolicyRun {
+        max_time: 100,
+        ..PolicyRun::default()
+    };
+    let trace = run_policy(&proto, n, &inputs, &mut policy, run);
+    // steps at ticks 1, 2, 3; broadcasts from ticks 1 and 2 are
+    // delivered at ticks 2 and 3 (the tick-3 sends are still in flight
+    // when everyone decides).
+    assert_eq!(trace.messages_delivered(), 2 * (n * (n - 1)) as u64);
+    for p in 0..n as u32 {
+        assert!(trace.decision(ProcessId(p)).is_some());
+    }
+}
