@@ -18,7 +18,8 @@ use ps_models::{AsyncModel, InputSimplex, SemiSyncModel, SsView, SyncModel, View
 use ps_topology::{Complex, IdComplex, InternedBuilder, Label, Simplex, VertexPool};
 
 use crate::solver::{AgreementConstraint, DecisionMapSolver, PreparedInstance};
-use crate::symmetry::{instance_fingerprint, instance_key, task_symmetries, InstanceKey};
+use crate::store::{StoreKey, StoredVerdict, VerdictStore};
+use crate::symmetry::{instance_fingerprint, instance_key, task_symmetries, ExactKey};
 use crate::task::KSetAgreement;
 
 /// Knobs for the sweep drivers.
@@ -603,23 +604,59 @@ pub fn solvability_sweep_shared(points: &[SweepPoint], threads: usize) -> Vec<So
 
 /// A prepared shared-key group: the two view label types a [`SweepKey`]
 /// can produce, behind one enum so heterogeneous groups travel through
-/// the sweep's phases together.
-enum PreparedGroup {
+/// the sweep's phases together (and stay warm across [`crate::serve`]
+/// batches).
+pub(crate) enum PreparedGroup {
     /// Synchronous / asynchronous instances (plain views).
     Viewed(PreparedInstance<View<u64>>),
     /// Semi-synchronous instances (microround-annotated views).
     SsViewed(PreparedInstance<SsView<u64>>),
 }
 
+/// Vertex-count gate on canonicalization attempts in store-addressed
+/// paths: above this size an exact canonical form is out of reach at
+/// [`ps_symmetry::canon::DEFAULT_BUDGET`] for the task complexes seen
+/// in practice, and even the *failed* attempt costs seconds, so large
+/// groups go straight to their structural address.
+pub(crate) const CANON_ATTEMPT_MAX_VERTICES: usize = 512;
+
 impl PreparedGroup {
-    fn key(&self) -> Option<InstanceKey> {
+    pub(crate) fn key(&self) -> Option<ExactKey> {
         match self {
             PreparedGroup::Viewed(inst) => instance_key(inst),
             PreparedGroup::SsViewed(inst) => instance_key(inst),
         }
     }
 
-    fn solve_ks(&self, ks: &[usize], learning: bool) -> Vec<(usize, SolvabilityResult)> {
+    /// [`Self::key`] behind the [`CANON_ATTEMPT_MAX_VERTICES`] gate:
+    /// `None` either because the group is too large to attempt or
+    /// because the attempt exhausted its budget.
+    pub(crate) fn key_gated(&self) -> Option<ExactKey> {
+        (self.vertex_count() <= CANON_ATTEMPT_MAX_VERTICES).then(|| self.key())?
+    }
+
+    pub(crate) fn structural_key(&self) -> crate::symmetry::StructuralKey {
+        match self {
+            PreparedGroup::Viewed(inst) => crate::symmetry::StructuralKey::of(inst),
+            PreparedGroup::SsViewed(inst) => crate::symmetry::StructuralKey::of(inst),
+        }
+    }
+
+    pub(crate) fn vertex_count(&self) -> usize {
+        match self {
+            PreparedGroup::Viewed(inst) => inst.vertex_count(),
+            PreparedGroup::SsViewed(inst) => inst.vertex_count(),
+        }
+    }
+
+    pub(crate) fn fingerprint(&self) -> crate::symmetry::InstanceFingerprint {
+        match self {
+            PreparedGroup::Viewed(inst) => instance_fingerprint(inst),
+            PreparedGroup::SsViewed(inst) => instance_fingerprint(inst),
+        }
+    }
+
+    pub(crate) fn solve_ks(&self, ks: &[usize], learning: bool) -> Vec<(usize, SolvabilityResult)> {
         match self {
             PreparedGroup::Viewed(inst) => ks
                 .iter()
@@ -635,7 +672,7 @@ impl PreparedGroup {
 
 /// Builds one shared-key group's prepared instance over the value
 /// domain `values`, attaching certified task symmetries when `symmetry`.
-fn build_group(key: &SweepKey, values: &BTreeSet<u64>, symmetry: bool) -> PreparedGroup {
+pub(crate) fn build_group(key: &SweepKey, values: &BTreeSet<u64>, symmetry: bool) -> PreparedGroup {
     match *key {
         SweepKey::Async {
             f,
@@ -738,9 +775,9 @@ pub fn solvability_sweep_shared_opts(
             .filter(|js| js.len() > 1)
             .flatten()
             .collect();
-        let keys: Vec<Option<InstanceKey>> =
+        let keys: Vec<Option<ExactKey>> =
             ps_topology::parallel::parallel_map(&colliding, threads, |_, &j| built[j].key());
-        let mut by_key: BTreeMap<InstanceKey, usize> = BTreeMap::new();
+        let mut by_key: BTreeMap<ExactKey, usize> = BTreeMap::new();
         for (&j, key) in colliding.iter().zip(keys) {
             let Some(key) = key else { continue };
             rep_of[j] = *by_key.entry(key).or_insert(j);
@@ -787,6 +824,190 @@ pub fn solvability_sweep_shared_opts(
 /// count ([`ps_topology::parallel::configured_threads`]).
 pub fn solvability_sweep_shared_auto(points: &[SweepPoint]) -> Vec<SolvabilityResult> {
     solvability_sweep_shared(points, ps_topology::parallel::configured_threads())
+}
+
+/// Metrics from one store-backed sweep ([`solvability_sweep_shared_store`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreSweepReport {
+    /// Shared-key groups the grid decomposed into.
+    pub groups: usize,
+    /// Canonical classes after merging groups with equal exact keys.
+    pub classes: usize,
+    /// `(class, k)` verdicts replayed from the store.
+    pub store_hits: usize,
+    /// `(class, k)` verdicts actually solved this run.
+    pub solver_calls: usize,
+    /// Newly solved verdicts persisted (every solved verdict gets at
+    /// least a structural record; classes with exact canonical keys get
+    /// a canonical record too).
+    pub persisted: usize,
+    /// Groups without an exact canonical key (canonicalization gated
+    /// off by size or cut by its budget): addressed structurally only,
+    /// so their verdicts replay on identical rebuilds but never
+    /// transfer to merely-isomorphic instances.
+    pub inexact_keys: usize,
+}
+
+/// [`solvability_sweep_shared_opts`] warm-started from (and persisting
+/// into) a [`VerdictStore`] — the checkpointed/resumable sweep.
+///
+/// Every group is addressed twice over: a cheap **structural** key
+/// (the instance encoded verbatim — always available, hits on any
+/// identical rebuild) and, when the size-gated canonicalization
+/// attempt succeeds, the **exact canonical** key (hits transfer across
+/// isomorphic instances). Groups with equal exact keys merge into one
+/// class; groups without exact keys merge only on structural equality.
+/// Each `(class, k)` pair is looked up structurally, then canonically;
+/// hits replay the stored verdict — relabeling preserves vertex and
+/// facet counts, so a hit's replayed counts are byte-identical to what
+/// a cold solve of the same grid would report. Misses are solved in
+/// chunks of `threads` classes with a [`VerdictStore::flush`]
+/// checkpoint after each chunk: a killed sweep loses at most one chunk
+/// of solver work and no previously flushed verdict, and re-running
+/// the same grid resumes from what survived. A budget-cut
+/// canonicalization never produces a key at all ([`crate::ExactKey`]
+/// is unforgeable), so the store cannot be poisoned by an inexact
+/// canonical form — the fallback address is the verbatim instance,
+/// which is exact by construction.
+///
+/// Verdict output is identical to [`solvability_sweep_shared_opts`]
+/// with `symmetry` on, and identical across thread counts and
+/// cold/warm splits.
+pub fn solvability_sweep_shared_store(
+    points: &[SweepPoint],
+    threads: usize,
+    opts: SweepOptions,
+    store: &mut VerdictStore,
+) -> std::io::Result<(Vec<SolvabilityResult>, StoreSweepReport)> {
+    let mut report = StoreSweepReport::default();
+    let mut groups: BTreeMap<SweepKey, Vec<usize>> = BTreeMap::new();
+    for (i, p) in points.iter().enumerate() {
+        groups.entry(p.shared_key()).or_default().push(i);
+    }
+    let jobs: Vec<(SweepKey, Vec<usize>)> = groups.into_iter().collect();
+    report.groups = jobs.len();
+
+    // Phase A1 (parallel): build each group's instance (+ symmetries).
+    let job_ids: Vec<usize> = (0..jobs.len()).collect();
+    let built: Vec<PreparedGroup> =
+        ps_topology::parallel::parallel_map(&job_ids, threads, |_, &j| {
+            let (key, idxs) = &jobs[j];
+            let k_max = idxs
+                .iter()
+                .map(|&i| points[i].k())
+                .max()
+                .expect("group is nonempty");
+            let values: BTreeSet<u64> = (0..=k_max as u64).collect();
+            build_group(key, &values, opts.symmetry)
+        });
+
+    // Phase A2 (parallel): address every group — a cheap structural
+    // key always, plus the exact canonical key when the (size-gated)
+    // canonicalization attempt succeeds.
+    let keys: Vec<(crate::symmetry::StructuralKey, Option<ExactKey>)> =
+        ps_topology::parallel::parallel_map(&job_ids, threads, |_, &j| {
+            (built[j].structural_key(), built[j].key_gated())
+        });
+    report.inexact_keys = keys.iter().filter(|(_, k)| k.is_none()).count();
+    let mut rep_of: Vec<usize> = (0..jobs.len()).collect();
+    let mut by_exact: BTreeMap<&ExactKey, usize> = BTreeMap::new();
+    let mut by_structural: BTreeMap<&crate::symmetry::StructuralKey, usize> = BTreeMap::new();
+    for (j, (structural, exact)) in keys.iter().enumerate() {
+        rep_of[j] = match exact {
+            Some(key) => *by_exact.entry(key).or_insert(j),
+            None => *by_structural.entry(structural).or_insert(j),
+        };
+    }
+
+    // Per class: the union of its members' agreement parameters.
+    let mut class_ks: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (j, (_, idxs)) in jobs.iter().enumerate() {
+        let ks = class_ks.entry(rep_of[j]).or_default();
+        ks.extend(idxs.iter().map(|&i| points[i].k()));
+    }
+    report.classes = class_ks.len();
+
+    // Warm start: replay every stored (class, k) verdict; what's left
+    // becomes solver work.
+    let mut verdicts: BTreeMap<(usize, usize), SolvabilityResult> = BTreeMap::new();
+    let mut miss_jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (rep, ks) in class_ks {
+        let mut missing = Vec::new();
+        for k in ks {
+            let constraint = AgreementConstraint::AtMostKDistinct(k);
+            let (structural, exact) = &keys[rep];
+            let hit = store
+                .get(&StoreKey::structural(structural, constraint))
+                .or_else(|| {
+                    exact
+                        .as_ref()
+                        .and_then(|key| store.get(&StoreKey::new(key, constraint)))
+                });
+            match hit {
+                Some(v) => {
+                    report.store_hits += 1;
+                    verdicts.insert(
+                        (rep, k),
+                        SolvabilityResult {
+                            solvable: v.solvable,
+                            vertices: v.vertices as usize,
+                            facets: v.facets as usize,
+                        },
+                    );
+                }
+                None => missing.push(k),
+            }
+        }
+        if !missing.is_empty() {
+            miss_jobs.push((rep, missing));
+        }
+    }
+
+    // Phase B (parallel, checkpointed): solve the misses in chunks of
+    // `threads` classes, flushing a new segment after each chunk so a
+    // kill loses at most one chunk of work.
+    for chunk in miss_jobs.chunks(threads.max(1)) {
+        let solved: Vec<Vec<(usize, SolvabilityResult)>> =
+            ps_topology::parallel::parallel_map(chunk, threads, |_, (rep, ks)| {
+                built[*rep].solve_ks(ks, opts.learning)
+            });
+        for ((rep, _), results) in chunk.iter().zip(solved) {
+            for (k, r) in results {
+                report.solver_calls += 1;
+                let constraint = AgreementConstraint::AtMostKDistinct(k);
+                let verdict = StoredVerdict {
+                    solvable: r.solvable,
+                    vertices: r.vertices as u64,
+                    facets: r.facets as u64,
+                };
+                let (structural, exact) = &keys[*rep];
+                let mut persisted =
+                    store.insert(&StoreKey::structural(structural, constraint), verdict);
+                if let Some(key) = exact {
+                    persisted |= store.insert(&StoreKey::new(key, constraint), verdict);
+                }
+                if persisted {
+                    report.persisted += 1;
+                }
+                verdicts.insert((*rep, k), r);
+            }
+        }
+        store.flush()?;
+    }
+
+    // Scatter: replay each class's verdicts to every member point.
+    let mut out: Vec<Option<SolvabilityResult>> = vec![None; points.len()];
+    for (j, (_, idxs)) in jobs.iter().enumerate() {
+        for &i in idxs {
+            out[i] = Some(verdicts[&(rep_of[j], points[i].k())].clone());
+        }
+    }
+    Ok((
+        out.into_iter()
+            .map(|r| r.expect("every point belongs to exactly one group"))
+            .collect(),
+        report,
+    ))
 }
 
 /// Approximate-agreement experiment: is there a decision map on the

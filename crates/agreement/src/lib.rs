@@ -46,9 +46,15 @@ pub use asynchronous::{OwnValue, WaitForAll};
 
 pub mod symmetry;
 pub use symmetry::{
-    instance_fingerprint, instance_key, task_symmetries, InstanceFingerprint, InstanceKey,
-    InstanceSymmetry, SymmetricView,
+    instance_fingerprint, instance_key, instance_key_budgeted, task_symmetries, ExactKey,
+    InstanceFingerprint, InstanceKey, InstanceSymmetry, StructuralKey, SymmetricView,
 };
+
+pub mod store;
+pub use store::{StoreKey, StoreReport, StoredVerdict, VerdictStore};
+
+pub mod serve;
+pub use serve::{AnswerSource, QueryAnswer, QueryEngine, ServeMetrics};
 
 pub mod experiments;
 pub use experiments::{
@@ -57,6 +63,7 @@ pub use experiments::{
     semisync_solvable, semisync_solvable_opts, semisync_task_complex, semisync_task_parts,
     solvability, solvability_sweep, solvability_sweep_auto, solvability_sweep_opts,
     solvability_sweep_shared, solvability_sweep_shared_auto, solvability_sweep_shared_opts,
-    sync_solvable, sync_solvable_opts, sync_task_complex, sync_task_parts, Corollary10Report,
-    SolvabilityResult, SweepKey, SweepOptions, SweepPoint,
+    solvability_sweep_shared_store, sync_solvable, sync_solvable_opts, sync_task_complex,
+    sync_task_parts, Corollary10Report, SolvabilityResult, StoreSweepReport, SweepKey,
+    SweepOptions, SweepPoint,
 };

@@ -273,6 +273,42 @@ pub struct InstanceKey {
     pub facets: Vec<Vec<u32>>,
 }
 
+/// An [`InstanceKey`] that is *proven exact*: the canonicalization
+/// search ran to completion, so equal `ExactKey`s imply a genuine
+/// domain-preserving isomorphism. The inner key is private and the
+/// only constructor is [`instance_key`] (and its budgeted variant),
+/// which refuse to wrap a budget-cut form — making "inexact key used
+/// as a cache identity" unrepresentable rather than a doc-comment
+/// convention. Persistent stores must key on this type.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExactKey(InstanceKey);
+
+impl ExactKey {
+    /// Read-only view of the canonical key material.
+    pub fn key(&self) -> &InstanceKey {
+        &self.0
+    }
+
+    /// The cheap isomorphism-invariant fingerprint of any instance
+    /// with this canonical key. Agrees with [`instance_fingerprint`]
+    /// of every instance in the key's isomorphism class (canonical
+    /// relabeling preserves vertex count, facet sizes, and the domain
+    /// multiset), so a store can maintain a fingerprint pre-filter
+    /// from keys alone.
+    pub fn fingerprint(&self) -> InstanceFingerprint {
+        let k = &self.0;
+        let mut facet_sizes: Vec<usize> = k.facets.iter().map(Vec::len).collect();
+        facet_sizes.sort_unstable();
+        let mut domains: Vec<Vec<u64>> = k
+            .colors
+            .iter()
+            .map(|&c| k.domain_table[c as usize].clone())
+            .collect();
+        domains.sort_unstable();
+        (k.colors.len(), facet_sizes, domains)
+    }
+}
+
 /// The concrete fingerprint data: vertex count, sorted facet sizes,
 /// sorted domain multiset (a shared type so fingerprints of
 /// differently-labeled instances remain comparable).
@@ -295,10 +331,36 @@ pub fn instance_fingerprint<V: Label>(inst: &PreparedInstance<V>) -> InstanceFin
 
 /// Computes the canonical cache key of a prepared instance, coloring
 /// vertices by their validity domains. Returns `None` when the
-/// canonicalization budget is exhausted (an inexact key must never be
-/// used to identify instances — treat as a cache miss).
-pub fn instance_key<V: Label>(inst: &PreparedInstance<V>) -> Option<InstanceKey> {
-    let n = inst.vertices.len();
+/// canonicalization budget is exhausted — a budget-cut form is not
+/// relabeling-invariant, so no [`ExactKey`] exists for it and every
+/// key-addressed cache treats the instance as a miss.
+pub fn instance_key<V: Label>(inst: &PreparedInstance<V>) -> Option<ExactKey> {
+    instance_key_budgeted(inst, ps_symmetry::canon::DEFAULT_BUDGET)
+}
+
+/// [`instance_key`] with an explicit canonicalization node budget.
+/// Exposed so callers (and tests) can force the budget-cut path;
+/// an exhausted budget yields `None`, never an inexact key.
+pub fn instance_key_budgeted<V: Label>(
+    inst: &PreparedInstance<V>,
+    budget: usize,
+) -> Option<ExactKey> {
+    let InstanceKey {
+        domain_table,
+        colors,
+        facets,
+    } = raw_instance_key(inst);
+    let cf = canonical_form(colors.len(), &facets, &colors, budget);
+    cf.exact.then_some(ExactKey(InstanceKey {
+        domain_table,
+        colors: cf.colors,
+        facets: cf.facets,
+    }))
+}
+
+/// The verbatim (uncanonicalized) key triple of a prepared instance, in
+/// build order.
+fn raw_instance_key<V: Label>(inst: &PreparedInstance<V>) -> InstanceKey {
     let domain_table: Vec<Vec<u64>> = {
         let mut t: Vec<Vec<u64>> = inst
             .domains
@@ -323,12 +385,52 @@ pub fn instance_key<V: Label>(inst: &PreparedInstance<V>) -> Option<InstanceKey>
         .iter()
         .map(|f| f.iter().map(|&v| v as u32).collect())
         .collect();
-    let cf = canonical_form(n, &facets, &colors, ps_symmetry::canon::DEFAULT_BUDGET);
-    cf.exact.then_some(InstanceKey {
+    InstanceKey {
         domain_table,
-        colors: cf.colors,
-        facets: cf.facets,
-    })
+        colors,
+        facets,
+    }
+}
+
+/// A *structural* cache key: the instance encoded verbatim in build
+/// order, with no canonicalization. Equal structural keys mean the two
+/// instances were built identically — a trivially sound (if maximally
+/// fine-grained) content address. This is the exactness-preserving
+/// fallback for instances whose canonicalization exceeds the node
+/// budget: unlike a budget-cut canonical form it involves no arbitrary
+/// labeling choice, so it is stable across runs as long as the
+/// task-complex builders are deterministic (which they are — and which
+/// the store equivalence tests pin).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StructuralKey(InstanceKey);
+
+impl StructuralKey {
+    /// Encodes `inst` verbatim.
+    pub fn of<V: Label>(inst: &PreparedInstance<V>) -> Self {
+        StructuralKey(raw_instance_key(inst))
+    }
+
+    /// The underlying key triple.
+    pub fn key(&self) -> &InstanceKey {
+        &self.0
+    }
+
+    /// The isomorphism-invariant fingerprint of the keyed instance
+    /// (identical to [`instance_fingerprint`] of the instance, and to
+    /// [`ExactKey::fingerprint`] of its canonical key — the invariant
+    /// does not depend on vertex order).
+    pub fn fingerprint(&self) -> InstanceFingerprint {
+        let k = &self.0;
+        let mut facet_sizes: Vec<usize> = k.facets.iter().map(Vec::len).collect();
+        facet_sizes.sort_unstable();
+        let mut domains: Vec<Vec<u64>> = k
+            .colors
+            .iter()
+            .map(|&c| k.domain_table[c as usize].clone())
+            .collect();
+        domains.sort_unstable();
+        (k.colors.len(), facet_sizes, domains)
+    }
 }
 
 #[cfg(test)]
@@ -397,5 +499,29 @@ mod tests {
         let (pool_c, cc) = sync_task_parts(&values, 3, 1, 1, 1);
         let ic = PreparedInstance::from_interned(&pool_c, &cc, allowed_values);
         assert_ne!(instance_key(&ic).expect("exact"), ka);
+    }
+
+    #[test]
+    fn budget_cut_canonicalization_yields_no_exact_key() {
+        // regression: a budget-cut (inexact) canonical form used to be
+        // representable as an InstanceKey and excluded from reuse only
+        // by convention; now no ExactKey can exist for it at all
+        let values: BTreeSet<u64> = (0..=1).collect();
+        let (pool, c) = async_task_parts(&values, 3, 1, 1);
+        let inst = PreparedInstance::from_interned(&pool, &c, allowed_values);
+        // this symmetric instance needs backtracking; one node cannot
+        // finish the search
+        assert!(instance_key_budgeted(&inst, 1).is_none());
+        // the same instance under the default budget is exact
+        assert!(instance_key(&inst).is_some());
+    }
+
+    #[test]
+    fn exact_key_fingerprint_matches_instance_fingerprint() {
+        let values: BTreeSet<u64> = (0..=1).collect();
+        let (pool, c) = sync_task_parts(&values, 3, 1, 1, 1);
+        let inst = PreparedInstance::from_interned(&pool, &c, allowed_values);
+        let key = instance_key(&inst).expect("exact");
+        assert_eq!(key.fingerprint(), instance_fingerprint(&inst));
     }
 }

@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 
 use ps_agreement::{
     async_solvable_opts, semisync_solvable_opts, solvability_sweep_opts,
-    solvability_sweep_shared_opts, stretch_experiment, sync_solvable_opts, FloodSet, SweepOptions,
-    SweepPoint,
+    solvability_sweep_shared_opts, solvability_sweep_shared_store, stretch_experiment,
+    sync_solvable_opts, FloodSet, QueryEngine, SweepOptions, SweepPoint, VerdictStore,
 };
 use ps_core::{process_simplex, MvProver, ProcessId, Pseudosphere};
 use ps_models::{input_simplex, AsyncModel, IisModel, SemiSyncModel, SyncModel};
@@ -30,6 +30,8 @@ usage:
                [--p P] [--rounds R] [--symmetry on|off] [--learning on|off]
   psph sweep <async|sync|semisync> [--procs N] [--f F] [--k K]
                [--p P] [--rounds R] [--independent] [--symmetry on|off]
+               [--learning on|off] [--store DIR] [--resume]
+  psph serve [--store DIR] [--input FILE] [--symmetry on|off]
                [--learning on|off]
   psph simulate [--procs N] [--f F] [--k K] [--seeds S]
   psph stretch [--procs N] [--k K] [--c1 T] [--c2 T] [--d T]
@@ -46,7 +48,16 @@ global: --threads T  worker threads for homology and sweeps
         (default: on; verdicts are identical either way)
         --learning on|off  conflict-driven backjumping with nogood
         learning in the decision-map solver
-        (default: on; verdicts are identical either way)";
+        (default: on; verdicts are identical either way)
+store:  --store DIR  persistent verdict store: sweeps warm-start from
+        stored verdicts and checkpoint new ones; serve probes it
+        before solving.  --resume requires --store and an existing
+        store directory (continue an interrupted sweep).
+serve:  reads queries from stdin (or --input FILE), one per line:
+          async K F N R | sync K F N R KPR | semisync K F N R KPR P
+        blank line = end of batch; `#` starts a comment; malformed
+        lines are reported and skipped.  Prints one verdict line per
+        query and a metrics summary at end of input.";
 
 /// Parses `--symmetry on|off` (default `on`).
 fn symmetry_opt(args: &Args) -> Result<bool, ArgError> {
@@ -96,6 +107,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         Some("prove") => prove(args),
         Some("solve") => solve(args),
         Some("sweep") => sweep(args),
+        Some("serve") => serve(args),
         Some("simulate") => simulate(args),
         Some("stretch") => stretch(args),
         Some("traffic") => traffic(args),
@@ -116,16 +128,19 @@ fn first_positional(args: &Args, what: &str) -> Result<String, ArgError> {
 /// views render compactly and may collide) by appending `#index`.
 fn injective_labels<V: Label>(c: &Complex<V>) -> Complex<String> {
     use std::collections::BTreeMap;
+    // position map, not binary search: no assumption that
+    // `vertex_set()` iteration order agrees with `Ord`
+    let mut position: BTreeMap<&V, usize> = BTreeMap::new();
     let verts: Vec<V> = c.vertex_set().into_iter().collect();
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-    for v in &verts {
+    for (i, v) in verts.iter().enumerate() {
+        position.insert(v, i);
         *counts.entry(format!("{v:?}")).or_default() += 1;
     }
     c.map(|v| {
         let base = format!("{v:?}");
         if counts[&base] > 1 {
-            let idx = verts.binary_search(v).unwrap();
-            format!("{base}#{idx}")
+            format!("{base}#{}", position[v])
         } else {
             base
         }
@@ -365,6 +380,16 @@ fn sweep(args: &Args) -> Result<(), ArgError> {
     let threads = ps_topology::parallel::configured_threads();
     let independent = args.flag("independent");
     let opts = sweep_options(args)?;
+    let store_dir = args.options.get("store").cloned();
+    let resume = args.flag("resume");
+    if resume && store_dir.is_none() {
+        return Err(ArgError("--resume requires --store DIR".into()));
+    }
+    if store_dir.is_some() && independent {
+        return Err(ArgError(
+            "--store uses the shared-complex path; drop --independent".into(),
+        ));
+    }
     println!(
         "{model} sweep: {n} processes, f = {f}, k = 1..={}, r = 1..={} ({} points, {threads} threads, symmetry {}, learning {})",
         k_max.max(1),
@@ -373,7 +398,23 @@ fn sweep(args: &Args) -> Result<(), ArgError> {
         if opts.symmetry { "on" } else { "off" },
         if opts.learning { "on" } else { "off" },
     );
-    let results = if independent {
+    let mut store_report = None;
+    let results = if let Some(dir) = &store_dir {
+        if resume && !std::path::Path::new(dir).is_dir() {
+            return Err(ArgError(format!(
+                "--resume: store directory `{dir}` does not exist"
+            )));
+        }
+        let mut store = VerdictStore::open(dir)
+            .map_err(|e| ArgError(format!("cannot open store `{dir}`: {e}")))?;
+        if resume {
+            println!("  resuming: {} verdicts on disk in {dir}", store.len());
+        }
+        let (results, report) = solvability_sweep_shared_store(&points, threads, opts, &mut store)
+            .map_err(|e| ArgError(format!("store-backed sweep failed: {e}")))?;
+        store_report = Some((report, store.len()));
+        results
+    } else if independent {
         // legacy per-point path: each point rebuilds its own canonical
         // ({0..k}) protocol complex
         solvability_sweep_opts(&points, threads, opts)
@@ -409,6 +450,176 @@ fn sweep(args: &Args) -> Result<(), ArgError> {
             }
         );
     }
+    if let (Some((report, on_disk)), Some(dir)) = (store_report, &store_dir) {
+        println!(
+            "  store {dir}: {} groups, {} classes ({} structural-only)",
+            report.groups, report.classes, report.inexact_keys
+        );
+        println!(
+            "  store hits: {}   solver calls: {}   persisted: {}   on disk: {on_disk}",
+            report.store_hits, report.solver_calls, report.persisted
+        );
+    }
+    Ok(())
+}
+
+/// Parses one serve query line: `async K F N R`, `sync K F N R KPR`,
+/// or `semisync K F N R KPR P`.
+fn parse_query(line: &str) -> Result<SweepPoint, String> {
+    let mut it = line.split_whitespace();
+    let model = it.next().ok_or("empty query")?;
+    let nums: Vec<usize> = it
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| format!("`{t}` is not a non-negative integer"))
+        })
+        .collect::<Result<_, _>>()?;
+    match (model, nums.as_slice()) {
+        ("async", &[k, f, n, r]) => Ok(SweepPoint::Async {
+            k,
+            f,
+            n_plus_1: n,
+            rounds: r,
+        }),
+        ("sync", &[k, f, n, r, kpr]) => Ok(SweepPoint::Sync {
+            k,
+            f,
+            n_plus_1: n,
+            k_per_round: kpr,
+            rounds: r,
+        }),
+        ("semisync", &[k, f, n, r, kpr, p]) => Ok(SweepPoint::SemiSync {
+            k,
+            f,
+            n_plus_1: n,
+            k_per_round: kpr,
+            microrounds: p as u32,
+            rounds: r,
+        }),
+        ("async", _) => Err("async expects `async K F N R`".into()),
+        ("sync", _) => Err("sync expects `sync K F N R KPR`".into()),
+        ("semisync", _) => Err("semisync expects `semisync K F N R KPR P`".into()),
+        (other, _) => Err(format!("unknown model `{other}`")),
+    }
+}
+
+/// One human-readable tag per query, echoed back with its verdict.
+fn describe_query(p: &SweepPoint) -> String {
+    match *p {
+        SweepPoint::Async {
+            k,
+            f,
+            n_plus_1,
+            rounds,
+        } => format!("async k={k} f={f} n={n_plus_1} r={rounds}"),
+        SweepPoint::Sync {
+            k,
+            f,
+            n_plus_1,
+            k_per_round,
+            rounds,
+        } => format!("sync k={k} f={f} n={n_plus_1} r={rounds} kpr={k_per_round}"),
+        SweepPoint::SemiSync {
+            k,
+            f,
+            n_plus_1,
+            k_per_round,
+            microrounds,
+            rounds,
+        } => format!(
+            "semisync k={k} f={f} n={n_plus_1} r={rounds} kpr={k_per_round} p={microrounds}"
+        ),
+    }
+}
+
+/// Long-running query server over the verdict cache hierarchy: session
+/// cache, persistent store (when `--store` is given), then the solver.
+/// Queries arrive one per line (grammar in [`USAGE`]); a blank line
+/// ends a batch, and each batch is answered — and its new verdicts
+/// flushed to the store — before the next is read.
+fn serve(args: &Args) -> Result<(), ArgError> {
+    use std::io::BufRead as _;
+    let opts = sweep_options(args)?;
+    let threads = ps_topology::parallel::configured_threads();
+    let store = match args.options.get("store") {
+        Some(dir) => Some(
+            VerdictStore::open(dir)
+                .map_err(|e| ArgError(format!("cannot open store `{dir}`: {e}")))?,
+        ),
+        None => None,
+    };
+    match (&store, args.options.get("store")) {
+        (Some(s), Some(dir)) => println!(
+            "psph serve: {threads} threads, store {dir} ({} verdicts on disk)",
+            s.len()
+        ),
+        _ => println!("psph serve: {threads} threads, no store (session cache only)"),
+    }
+    let reader: Box<dyn std::io::BufRead> = match args.options.get("input") {
+        Some(path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path)
+                .map_err(|e| ArgError(format!("cannot open --input `{path}`: {e}")))?,
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    let mut engine = QueryEngine::new(threads, opts, store);
+    let mut batch: Vec<SweepPoint> = Vec::new();
+    let flush_batch =
+        |engine: &mut QueryEngine, batch: &mut Vec<SweepPoint>| -> Result<(), ArgError> {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let answers = engine
+                .answer_batch(batch)
+                .map_err(|e| ArgError(format!("store flush failed: {e}")))?;
+            for (q, a) in batch.iter().zip(&answers) {
+                println!(
+                    "{}: {}  [source={}, {}µs]",
+                    describe_query(q),
+                    if a.result.solvable {
+                        "solvable"
+                    } else {
+                        "NO decision map"
+                    },
+                    a.source,
+                    a.micros
+                );
+            }
+            batch.clear();
+            Ok(())
+        };
+    for line in reader.lines() {
+        let line = line.map_err(|e| ArgError(format!("read error: {e}")))?;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            flush_batch(&mut engine, &mut batch)?;
+            continue;
+        }
+        match parse_query(line) {
+            Ok(q) => batch.push(q),
+            Err(e) => println!("parse error (line skipped): {e}"),
+        }
+    }
+    flush_batch(&mut engine, &mut batch)?;
+    let m = engine.metrics();
+    println!("serve session: {} queries", m.queries);
+    println!(
+        "  session hits: {}   store hits: {}   solved: {}",
+        m.session_hits, m.store_hits, m.solved
+    );
+    println!(
+        "  solver calls: {}   key computations: {}   key skips: {}",
+        m.solver_calls, m.key_computations, m.key_skips
+    );
+    println!(
+        "  prepared builds: {}   reuses: {}   persisted: {}",
+        m.prepared_builds, m.prepared_reuses, m.persisted
+    );
+    println!(
+        "  latency: mean {}µs, max {}µs",
+        m.mean_micros(),
+        m.max_micros
+    );
     Ok(())
 }
 
@@ -624,4 +835,40 @@ fn chain(args: &Args) -> Result<(), ArgError> {
         None => println!("no chain — the complex is disconnected at this degree"),
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distinct values whose Debug forms collide — the worst case for
+    /// label export.
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct Colliding(u32, u32);
+
+    impl std::fmt::Debug for Colliding {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "v{}", self.0) // drops the second coordinate
+        }
+    }
+
+    #[test]
+    fn injective_labels_disambiguates_debug_collisions() {
+        use ps_topology::Simplex;
+        let mut c = Complex::new();
+        // v0 ~ Colliding(0, _) collides three ways; v1 is unique
+        c.add_simplex(Simplex::new(vec![Colliding(0, 0), Colliding(0, 1)]));
+        c.add_simplex(Simplex::new(vec![Colliding(0, 2), Colliding(1, 0)]));
+        let labeled = injective_labels(&c);
+        // injective: no vertices merged by the relabeling
+        assert_eq!(labeled.vertex_count(), c.vertex_count());
+        let labels = labeled.vertex_set();
+        assert!(labels.contains("v1"), "unique label stays bare: {labels:?}");
+        for l in &labels {
+            assert!(
+                l == "v1" || l.starts_with("v0#"),
+                "colliding labels disambiguated: {l}"
+            );
+        }
+    }
 }

@@ -274,3 +274,105 @@ mod pseudosphere_check {
         (c.vertex_count(), c.facet_count())
     }
 }
+
+#[test]
+fn sweep_store_warm_rerun_replays_everything() {
+    let dir = std::env::temp_dir().join("psph-cli-sweep-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.to_str().unwrap();
+    let grid = [
+        "sweep", "sync", "--procs", "3", "--f", "1", "--k", "2", "--rounds", "1",
+    ];
+    let mut cold_args: Vec<&str> = grid.to_vec();
+    cold_args.extend(["--store", store]);
+    let (cold, _, ok) = psph(&cold_args);
+    assert!(ok, "{cold}");
+    assert!(cold.contains("store hits: 0"), "{cold}");
+    assert!(!cold.contains("solver calls: 0"), "{cold}");
+
+    let mut warm_args: Vec<&str> = grid.to_vec();
+    warm_args.extend(["--store", store, "--resume"]);
+    let (warm, _, ok) = psph(&warm_args);
+    assert!(ok, "{warm}");
+    assert!(warm.contains("resuming:"), "{warm}");
+    assert!(warm.contains("solver calls: 0"), "{warm}");
+    // identical verdict table, line for line
+    let table = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.ends_with("solvable") || l.ends_with("NO decision map"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(table(&cold), table(&warm));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_resume_without_store_is_an_error() {
+    let (_, stderr, ok) = psph(&["sweep", "sync", "--resume"]);
+    assert!(!ok);
+    assert!(stderr.contains("--resume requires --store"), "{stderr}");
+}
+
+#[test]
+fn sweep_resume_with_missing_store_is_an_error() {
+    let dir = std::env::temp_dir().join("psph-cli-no-such-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (_, stderr, ok) = psph(&[
+        "sweep",
+        "sync",
+        "--store",
+        dir.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("does not exist"), "{stderr}");
+}
+
+#[test]
+fn serve_answers_batches_and_reports_metrics() {
+    let dir = std::env::temp_dir().join("psph-cli-serve");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("queries.txt");
+    std::fs::write(
+        &input,
+        "# consensus is async-impossible (Corollary 10)\n\
+         async 1 1 3 1\n\
+         sync 1 1 3 1 1\n\
+         \n\
+         async 1 1 3 1  # duplicate: session hit\n\
+         not a query\n",
+    )
+    .unwrap();
+    let store = dir.join("store");
+    let (out, _, ok) = psph(&[
+        "serve",
+        "--input",
+        input.to_str().unwrap(),
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert!(
+        out.contains("async k=1 f=1 n=3 r=1: NO decision map"),
+        "{out}"
+    );
+    assert!(out.contains("source=solved"), "{out}");
+    assert!(out.contains("source=session"), "{out}");
+    assert!(out.contains("parse error"), "{out}");
+    assert!(out.contains("serve session: 3 queries"), "{out}");
+
+    // a second server over the same store replays from disk
+    let (warm, _, ok) = psph(&[
+        "serve",
+        "--input",
+        input.to_str().unwrap(),
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(ok, "{warm}");
+    assert!(warm.contains("source=store"), "{warm}");
+    assert!(warm.contains("solver calls: 0"), "{warm}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

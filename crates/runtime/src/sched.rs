@@ -616,12 +616,12 @@ impl TimingPolicy for SyncPolicy<'_> {
         1
     }
     fn next_step(&mut self, _p: ProcessId, _next_index: u64, now: u64) -> u64 {
-        now + 1
+        now.saturating_add(1)
     }
     fn delivery(&mut self, src: ProcessId, dst: ProcessId, now: u64) -> Option<u64> {
         self.adversary
             .message_delivered(src, dst, now)
-            .then_some(now + 1)
+            .then_some(now.saturating_add(1))
     }
     fn crash_time(&self, p: ProcessId) -> Option<u64> {
         self.adversary.crash_time(p)
@@ -672,7 +672,7 @@ impl TimingPolicy for SemisyncPolicy<'_> {
             (self.params.c1..=self.params.c2).contains(&dt),
             "step interval out of range"
         );
-        now + dt
+        now.saturating_add(dt)
     }
     fn delivery(&mut self, src: ProcessId, dst: ProcessId, now: u64) -> Option<u64> {
         if !self.adversary.message_delivered(src, dst, now) {
@@ -680,7 +680,7 @@ impl TimingPolicy for SemisyncPolicy<'_> {
         }
         let delay = self.adversary.message_delay(src, dst, now, &self.params);
         assert!(delay <= self.params.d, "message delay exceeds d");
-        Some(now + delay)
+        Some(now.saturating_add(delay))
     }
     fn crash_time(&self, p: ProcessId) -> Option<u64> {
         self.adversary.crash_time(p)
@@ -722,16 +722,17 @@ impl TimingPolicy for AsyncPolicy<'_> {
         self.adversary.step_interval(p, 0, &self.params).max(1)
     }
     fn next_step(&mut self, p: ProcessId, next_index: u64, now: u64) -> u64 {
-        now + self
-            .adversary
-            .step_interval(p, next_index, &self.params)
-            .max(1)
+        now.saturating_add(
+            self.adversary
+                .step_interval(p, next_index, &self.params)
+                .max(1),
+        )
     }
     fn delivery(&mut self, src: ProcessId, dst: ProcessId, now: u64) -> Option<u64> {
         if !self.adversary.message_delivered(src, dst, now) {
             return None;
         }
-        Some(now + self.adversary.message_delay(src, dst, now, &self.params))
+        Some(now.saturating_add(self.adversary.message_delay(src, dst, now, &self.params)))
     }
     fn crash_time(&self, p: ProcessId) -> Option<u64> {
         self.adversary.crash_time(p)

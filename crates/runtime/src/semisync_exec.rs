@@ -634,7 +634,8 @@ impl<P: TimedProtocol> TimedExecutor<P> {
                             let delay = adversary.message_delay(p, *q, now, &self.params);
                             assert!(delay <= self.params.d, "message delay exceeds d");
                             let channel = (p, *q);
-                            let at = (now + delay)
+                            let at = now
+                                .saturating_add(delay)
                                 .max(last_delivery.get(&channel).copied().unwrap_or(0));
                             last_delivery.insert(channel, at);
                             heap.push(Reverse(QueuedEvent {
@@ -659,7 +660,7 @@ impl<P: TimedProtocol> TimedExecutor<P> {
                             "step interval out of range"
                         );
                         heap.push(Reverse(QueuedEvent {
-                            time: now + dt,
+                            time: now.saturating_add(dt),
                             seq,
                             kind: EventKind::Step { p },
                         }));

@@ -19,6 +19,22 @@
 //!    relabeled (colors, facets) pair over all discrete leaves is the
 //!    canonical form.
 //!
+//! Two standard refinements keep the tree small on highly symmetric
+//! inputs (protocol complexes are full of local subtree symmetries,
+//! which otherwise multiply leaves by the automorphism-group order):
+//!
+//! * **Automorphism (orbit) pruning.** Whenever two discrete leaves
+//!   produce byte-identical canonical forms, their labelings compose
+//!   to an automorphism of the input. Discovered automorphisms that
+//!   fix the current individualization prefix pointwise act on the
+//!   branching cell; siblings in the orbit of an already-explored
+//!   sibling are skipped — their subtrees produce exactly the same
+//!   set of leaf keys, so the minimum is unchanged.
+//! * **Smallest-cell branching.** The branching target is the
+//!   smallest non-singleton cell (ties broken by smallest color) —
+//!   an isomorphism-invariant choice that minimizes the branching
+//!   factor.
+//!
 //! The backtracking tree is cut off after a node budget; a truncated
 //! search still returns a deterministic labeling but one that is no
 //! longer relabeling-invariant, which the `exact: false` flag
@@ -95,6 +111,8 @@ pub fn canonical_form(
         best: None,
         nodes_left: budget.max(1),
         exact: true,
+        base: Vec::new(),
+        gens: Vec::new(),
     };
     search.dfs(colors.to_vec());
     let (labeling, colors, facets) = search.best.expect("search visits at least one leaf");
@@ -122,6 +140,10 @@ type Leaf = (Vec<u32>, Vec<u32>, Vec<Vec<u32>>);
 /// facets.
 type VertexSig = (u32, Vec<(usize, Vec<u32>)>);
 
+/// Cap on stored automorphism generators; pruning stays sound with
+/// any subset (fewer generators just prune less).
+const MAX_GENS: usize = 1024;
+
 struct Search<'a> {
     n: usize,
     facets: &'a [Vec<u32>],
@@ -130,6 +152,13 @@ struct Search<'a> {
     best: Option<Leaf>,
     nodes_left: usize,
     exact: bool,
+    /// The individualization prefix (original vertex ids, root to
+    /// current node) — the "base" automorphisms must fix pointwise to
+    /// license sibling pruning.
+    base: Vec<usize>,
+    /// Automorphisms of the input discovered from duplicate leaves
+    /// (image tables over original vertex ids).
+    gens: Vec<Vec<u32>>,
 }
 
 impl Search<'_> {
@@ -193,13 +222,16 @@ impl Search<'_> {
             self.nodes_left -= 1;
         }
         let colors = self.refine(colors);
-        // locate the non-singleton cell with the smallest color (an
-        // isomorphism-invariant target choice)
+        // locate the smallest non-singleton cell, ties broken by
+        // smallest color (an isomorphism-invariant target choice that
+        // minimizes the branching factor)
         let mut count = vec![0u32; self.n + 1];
         for &c in &colors {
             count[c as usize] += 1;
         }
-        let target = (0..self.n).find(|&c| count[c] >= 2);
+        let target = (0..self.n)
+            .filter(|&c| count[c] >= 2)
+            .min_by_key(|&c| count[c]);
         match target {
             None => {
                 // discrete: dense ranks are exactly 0..n, so the
@@ -219,12 +251,20 @@ impl Search<'_> {
                     })
                     .collect();
                 new_facets.sort_unstable();
-                let better = match &self.best {
-                    None => true,
-                    Some((_, bc, bf)) => (&new_colors, &new_facets) < (bc, bf),
-                };
-                if better {
-                    self.best = Some((labeling, new_colors, new_facets));
+                let cmp = self
+                    .best
+                    .as_ref()
+                    .map(|(_, bc, bf)| (&new_colors, &new_facets).cmp(&(bc, bf)));
+                match cmp {
+                    Some(std::cmp::Ordering::Equal) => {
+                        // duplicate leaf: best⁻¹ ∘ current is a (color-
+                        // preserving) automorphism of the input — fuel
+                        // for sibling pruning at ancestor nodes
+                        let bl = self.best.as_ref().expect("compared above").0.clone();
+                        self.record_automorphism(&bl, &labeling);
+                    }
+                    Some(std::cmp::Ordering::Greater) => {}
+                    _ => self.best = Some((labeling, new_colors, new_facets)),
                 }
             }
             Some(cell_color) => {
@@ -232,12 +272,36 @@ impl Search<'_> {
                     .filter(|&v| colors[v] as usize == cell_color)
                     .collect();
                 let last = members.len() - 1;
+                let mut explored: Vec<usize> = Vec::new();
+                // Orbit partition under base-fixing generators, cached
+                // across siblings and rebuilt only when a child subtree
+                // discovered new automorphisms (rebuilds are O(gens·n);
+                // doing one per sibling check dominates the search).
+                let mut orbits: Option<Vec<usize>> = None;
+                let mut orbits_gens = usize::MAX;
                 for (i, &v) in members.iter().enumerate() {
+                    if orbits_gens != self.gens.len() {
+                        orbits = self.base_fixing_orbits();
+                        orbits_gens = self.gens.len();
+                    }
+                    if let Some(parent) = orbits.as_mut() {
+                        let rv = find(parent, v);
+                        if explored.iter().any(|&w| find(parent, w) == rv) {
+                            // some discovered automorphism fixing the
+                            // base maps v into an explored sibling's
+                            // orbit: the subtree yields the same leaf
+                            // keys — skip it
+                            continue;
+                        }
+                    }
+                    explored.push(v);
                     let mut c2 = colors.clone();
                     // a fresh color strictly above all dense ranks
                     // individualizes v; the next refine re-ranks
                     c2[v] = self.n as u32;
+                    self.base.push(v);
                     self.dfs(c2);
+                    self.base.pop();
                     if i < last && self.nodes_left == 0 {
                         // unexplored siblings remain
                         self.exact = false;
@@ -247,6 +311,56 @@ impl Search<'_> {
             }
         }
     }
+
+    /// Records `best⁻¹ ∘ current` (two labelings with identical
+    /// canonical output) as an automorphism generator.
+    fn record_automorphism(&mut self, best: &[u32], current: &[u32]) {
+        if self.gens.len() >= MAX_GENS {
+            return;
+        }
+        let mut inv_best = vec![0u32; self.n];
+        for v in 0..self.n {
+            inv_best[best[v] as usize] = v as u32;
+        }
+        let g: Vec<u32> = (0..self.n).map(|v| inv_best[current[v] as usize]).collect();
+        if g.iter().enumerate().all(|(i, &x)| i as u32 == x) || self.gens.contains(&g) {
+            return;
+        }
+        self.gens.push(g);
+    }
+
+    /// Union-find parents for vertex orbits under the subgroup
+    /// generated by discovered automorphisms that fix the current base
+    /// pointwise; `None` when no generator qualifies.
+    fn base_fixing_orbits(&self) -> Option<Vec<usize>> {
+        if self.gens.is_empty() {
+            return None;
+        }
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        let mut any = false;
+        for g in &self.gens {
+            if self.base.iter().any(|&b| g[b] as usize != b) {
+                continue;
+            }
+            any = true;
+            for (x, &gx) in g.iter().enumerate() {
+                let (rx, ry) = (find(&mut parent, x), find(&mut parent, gx as usize));
+                if rx != ry {
+                    parent[rx] = ry;
+                }
+            }
+        }
+        any.then_some(parent)
+    }
+}
+
+/// Path-halving union-find lookup.
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
 }
 
 #[cfg(test)]

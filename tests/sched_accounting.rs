@@ -210,3 +210,106 @@ fn sync_policy_round_delivery_count() {
         assert!(trace.decision(ProcessId(p)).is_some());
     }
 }
+
+/// An adversary pinned to the extreme end of the time axis: message
+/// delays (and optionally step intervals) within `slack` of `u64::MAX`.
+/// Event-time arithmetic must saturate rather than overflow — before
+/// the policies saturated, `now + delay` panicked under debug overflow
+/// checks as soon as `now > slack`.
+#[derive(Clone, Copy, Debug)]
+struct NearMaxAdversary {
+    interval: u64,
+    delay_slack: u64,
+}
+
+impl pseudosphere::runtime::TimedAdversary for NearMaxAdversary {
+    fn step_interval(&mut self, _p: ProcessId, _step: u64, _params: &TimedParams) -> u64 {
+        self.interval
+    }
+    fn message_delay(
+        &mut self,
+        _src: ProcessId,
+        _dst: ProcessId,
+        _send_time: u64,
+        _params: &TimedParams,
+    ) -> u64 {
+        u64::MAX - self.delay_slack
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Near-`u64::MAX` message delays saturate instead of overflowing:
+    /// the runs complete, logs stay chronological, and the in-flight
+    /// messages (scheduled at ~`u64::MAX`, far past the horizon) are
+    /// simply never delivered.
+    #[test]
+    fn near_max_delays_saturate(
+        n in 2usize..5,
+        interval in 1u64..4,
+        delay_slack in 0u64..64,
+    ) {
+        let proto = StepEcho { decide_step: 4 };
+        let inputs = vec![0u8; n];
+        let no_crashes = BTreeMap::new();
+        // d = u64::MAX admits the near-MAX delays under the semisync
+        // window assertions; c2 bounds the chosen step interval.
+        let params = TimedParams::new(1, interval, u64::MAX);
+
+        for policy_kind in 0..2 {
+            let mut adv = NearMaxAdversary { interval, delay_slack };
+            let run = PolicyRun { max_time: 100, ..PolicyRun::default() };
+            let trace = match policy_kind {
+                0 => {
+                    let mut policy = SemisyncPolicy::new(&mut adv, params);
+                    run_policy(&proto, n, &inputs, &mut policy, run)
+                }
+                _ => {
+                    let mut policy = AsyncPolicy::new(&mut adv, params);
+                    run_policy(&proto, n, &inputs, &mut policy, run)
+                }
+            };
+            prop_assert_eq!(trace.messages_delivered(), 0);
+            check_invariants(&trace, n, &no_crashes, "near-max")
+                .map_err(TestCaseError::fail)?;
+        }
+
+        // the retained legacy event loop must saturate identically
+        let mut adv = NearMaxAdversary { interval, delay_slack };
+        let exec = pseudosphere::runtime::TimedExecutor::new(proto, n, params);
+        let legacy = exec.run_legacy(&inputs, &mut adv, 100);
+        prop_assert_eq!(legacy.messages_delivered(), 0);
+        check_invariants(&legacy, n, &no_crashes, "near-max-legacy")
+            .map_err(TestCaseError::fail)?;
+    }
+}
+
+/// Near-`u64::MAX` *step intervals* saturate too: after its first step
+/// every process's next step lands at the saturated horizon, so the run
+/// stops at `max_time` with one step each — and no overflow panic.
+#[test]
+fn near_max_step_intervals_saturate() {
+    let n = 3usize;
+    let proto = StepEcho { decide_step: 9 };
+    let inputs = vec![0u8; n];
+    let params = TimedParams::new(1, u64::MAX, u64::MAX);
+    let mut adv = NearMaxAdversary {
+        interval: u64::MAX - 1,
+        delay_slack: 3,
+    };
+    let mut policy = SemisyncPolicy::new(&mut adv, params);
+    let run = PolicyRun {
+        max_time: 1_000,
+        ..PolicyRun::default()
+    };
+    let trace = run_policy(&proto, n, &inputs, &mut policy, run);
+    for w in trace.events().windows(2) {
+        assert!(w[0].time() <= w[1].time(), "events out of order");
+    }
+    // nobody reaches decide_step: the second step of every process
+    // saturates past the horizon
+    for p in 0..n as u32 {
+        assert!(trace.decision(ProcessId(p)).is_none());
+    }
+}
