@@ -826,6 +826,128 @@ pub fn solvability_sweep_shared_auto(points: &[SweepPoint]) -> Vec<SolvabilityRe
     solvability_sweep_shared(points, ps_topology::parallel::configured_threads())
 }
 
+/// Builds one shared-key group's protocol complex (interned form only —
+/// no label resolution, no solver instance) over the value domain
+/// `values`.
+pub(crate) fn build_key_complex(key: &SweepKey, values: &BTreeSet<u64>) -> IdComplex {
+    match *key {
+        SweepKey::Async {
+            f,
+            n_plus_1,
+            rounds,
+        } => async_task_parts(values, n_plus_1, f, rounds).1,
+        SweepKey::Sync {
+            f,
+            n_plus_1,
+            k_per_round,
+            rounds,
+        } => sync_task_parts(values, n_plus_1, k_per_round, f, rounds).1,
+        SweepKey::SemiSync {
+            f,
+            n_plus_1,
+            k_per_round,
+            microrounds,
+            rounds,
+        } => semisync_task_parts(values, n_plus_1, k_per_round, f, microrounds, rounds).1,
+    }
+}
+
+/// The mod-2 homological connectivity verdict of one sweep point
+/// (see [`connectivity_sweep_shared`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConnectivityResult {
+    /// Vertices of the protocol complex actually queried.
+    pub vertices: usize,
+    /// Facets of the protocol complex actually queried.
+    pub facets: usize,
+    /// The queried connectivity level `q = k − 1`.
+    pub q: i32,
+    /// `true` iff the complex is homologically `q`-connected over GF(2)
+    /// (reduced mod-2 Betti numbers vanish through dimension `q`).
+    /// Refutation-sound up to 2-torsion, like
+    /// [`ps_topology::ConnectivityAnalyzer::mod2`].
+    pub connected: bool,
+    /// Boundary columns assembled in the group's shared
+    /// [`ps_topology::PreparedBoundary`] by the time this point was answered
+    /// (cumulative within the group — later points of a group reuse the
+    /// earlier points' columns, which is the point).
+    pub assembled_columns: u64,
+    /// Column additions performed in the group's shared cache so far
+    /// (cumulative within the group, like `assembled_columns`).
+    pub additions: u64,
+}
+
+/// Amortized connectivity sweep: the protocol-complex side of the
+/// paper's solvability characterizations ("`k`-set agreement needs a
+/// `(k−1)`-connected obstruction to fail"), asked directly of the
+/// complexes. Points are grouped by [`SweepPoint::shared_key`]; each
+/// group builds its interned complex **once**, prepares **one**
+/// [`ps_topology::PreparedBoundary`] over it, and answers every `k` of the group as
+/// an is-`(k−1)`-connected query against that one cache, ascending in
+/// `k` so each query extends the previous one's reduced prefix instead
+/// of re-reducing. Groups are independent jobs on the worker pool and
+/// results scatter back by input index, so the output is identical
+/// across thread counts.
+///
+/// **Value domain.** As in [`solvability_sweep_shared`], a group runs
+/// on the fixed domain `{0, …, k_max}` of its largest `k`, so the
+/// complex queried for a smaller `k` is the larger-domain one (the
+/// reported `vertices`/`facets` describe it).
+pub fn connectivity_sweep_shared(points: &[SweepPoint], threads: usize) -> Vec<ConnectivityResult> {
+    use ps_topology::PreparedBoundary;
+    let mut groups: BTreeMap<SweepKey, Vec<usize>> = BTreeMap::new();
+    for (i, p) in points.iter().enumerate() {
+        groups.entry(p.shared_key()).or_default().push(i);
+    }
+    let jobs: Vec<(SweepKey, Vec<usize>)> = groups.into_iter().collect();
+    let answered: Vec<Vec<(usize, ConnectivityResult)>> =
+        ps_topology::parallel::parallel_map(&jobs, threads, |_, (key, idxs)| {
+            let k_max = idxs
+                .iter()
+                .map(|&i| points[i].k())
+                .max()
+                .expect("group is nonempty");
+            let values: BTreeSet<u64> = (0..=k_max as u64).collect();
+            let complex = build_key_complex(key, &values);
+            let (vertices, facets) = (complex.vertex_count(), complex.facet_count());
+            let mut pb = PreparedBoundary::of_id_complex(&complex);
+            // ascending k: each query extends the cached reduced prefix
+            let mut order: Vec<usize> = idxs.clone();
+            order.sort_by_key(|&i| points[i].k());
+            order
+                .into_iter()
+                .map(|i| {
+                    let q = points[i].k() as i32 - 1;
+                    let connected = pb.is_q_connected(q);
+                    let result = ConnectivityResult {
+                        vertices,
+                        facets,
+                        q,
+                        connected,
+                        assembled_columns: pb.assembled_columns(),
+                        additions: pb.stats().additions,
+                    };
+                    (i, result)
+                })
+                .collect()
+        });
+    let mut out: Vec<Option<ConnectivityResult>> = vec![None; points.len()];
+    for group in answered {
+        for (i, r) in group {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every point belongs to exactly one group"))
+        .collect()
+}
+
+/// [`connectivity_sweep_shared`] with the globally configured thread
+/// count.
+pub fn connectivity_sweep_shared_auto(points: &[SweepPoint]) -> Vec<ConnectivityResult> {
+    connectivity_sweep_shared(points, ps_topology::parallel::configured_threads())
+}
+
 /// Metrics from one store-backed sweep ([`solvability_sweep_shared_store`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreSweepReport {

@@ -141,12 +141,49 @@ fn bench_sweep_shared(c: &mut Criterion) {
     group.finish();
 }
 
+/// E20: the sparse word-block engine vs. the dense BitMatrix oracle,
+/// and cold vs. warm [`PreparedBoundary`] caches, on the sync n = 4
+/// f = 2 protocol complex (756 vertices, 4 779 facets) — the same
+/// instance the CI bench-regression smoke times end-to-end.
+fn bench_sparse_homology(c: &mut Criterion) {
+    use ps_agreement::{connectivity_sweep_shared, sync_task_complex, KSetAgreement, SweepPoint};
+    use ps_topology::PreparedBoundary;
+    let mut group = c.benchmark_group("sparse_homology");
+    group.sample_size(10);
+    let complex = sync_task_complex(&KSetAgreement::canonical(2), 4, 2, 2, 1);
+    group.bench_function("sync_n4_f2_sparse_cold", |b| {
+        b.iter(|| black_box(Homology::betti_mod2(&complex)))
+    });
+    group.bench_function("sync_n4_f2_dense_oracle", |b| {
+        b.iter(|| black_box(Homology::betti_mod2_dense(&complex)))
+    });
+    group.bench_function("sync_n4_f2_sparse_warm", |b| {
+        let mut pb = PreparedBoundary::of_complex(&complex);
+        pb.betti_mod2(); // populate every cache level once
+        b.iter(|| black_box(pb.betti_mod2()))
+    });
+    let points: Vec<SweepPoint> = (1..=3usize)
+        .map(|k| SweepPoint::Sync {
+            k,
+            f: 2,
+            n_plus_1: 4,
+            k_per_round: 2,
+            rounds: 1,
+        })
+        .collect();
+    group.bench_function("sync_n4_f2_connectivity_ksweep3", |b| {
+        b.iter(|| black_box(connectivity_sweep_shared(&points, 1)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_prover_vs_homology,
     bench_analyzer,
     bench_parallel_homology,
     bench_sweep_batch,
-    bench_sweep_shared
+    bench_sweep_shared,
+    bench_sparse_homology
 );
 criterion_main!(benches);

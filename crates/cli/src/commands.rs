@@ -33,6 +33,9 @@ usage:
                [--learning on|off] [--store DIR] [--resume]
   psph serve [--store DIR] [--input FILE] [--symmetry on|off]
                [--learning on|off]
+  psph homology <async|sync|semisync> [--procs N] [--f F] [--k K]
+               [--p P] [--rounds R] [--oracle]
+  psph homology corpus [--trials T] [--seed S]
   psph simulate [--procs N] [--f F] [--k K] [--seeds S]
   psph stretch [--procs N] [--k K] [--c1 T] [--c2 T] [--d T]
   psph traffic [--n N] [--messages M] [--policy sync|semisync|async|all]
@@ -57,7 +60,12 @@ serve:  reads queries from stdin (or --input FILE), one per line:
           async K F N R | sync K F N R KPR | semisync K F N R KPR P
         blank line = end of batch; `#` starts a comment; malformed
         lines are reported and skipped.  Prints one verdict line per
-        query and a metrics summary at end of input.";
+        query and a metrics summary at end of input.
+homology: model mode runs the sparse GF(2) engine on one protocol
+        complex (Betti numbers, connectivity, work counters, timings);
+        corpus mode diffs the sparse engine against the dense oracle
+        on a fixed + randomized corpus and exits nonzero on any
+        mismatch (the CI homology-equivalence gate).";
 
 /// Parses `--symmetry on|off` (default `on`).
 fn symmetry_opt(args: &Args) -> Result<bool, ArgError> {
@@ -107,6 +115,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         Some("prove") => prove(args),
         Some("solve") => solve(args),
         Some("sweep") => sweep(args),
+        Some("homology") => homology(args),
         Some("serve") => serve(args),
         Some("simulate") => simulate(args),
         Some("stretch") => stretch(args),
@@ -620,6 +629,317 @@ fn serve(args: &Args) -> Result<(), ArgError> {
         m.mean_micros(),
         m.max_micros
     );
+    Ok(())
+}
+
+/// `psph homology` — the sparse GF(2) homology engine, either on one
+/// protocol complex (model mode) or differentially against the dense
+/// oracle on a fixed + randomized corpus (corpus mode, the CI gate).
+fn homology(args: &Args) -> Result<(), ArgError> {
+    let mode = first_positional(args, "mode (async|sync|semisync|corpus)")?;
+    if mode == "corpus" {
+        homology_corpus(args)
+    } else {
+        homology_model(args, &mode)
+    }
+}
+
+/// Model mode: build the protocol complex as an interned `IdComplex`
+/// (no label materialization), run [`ps_topology::PreparedBoundary`],
+/// and print Betti numbers plus the engine's work counters and timings
+/// — the entry point of the CI bench-regression smoke and the
+/// EXPERIMENTS.md E20 scaling table.
+fn homology_model(args: &Args, model: &str) -> Result<(), ArgError> {
+    use ps_agreement::{async_task_parts, semisync_task_parts, sync_task_parts};
+    use ps_topology::PreparedBoundary;
+    use std::time::Instant;
+
+    let n = args.usize_opt("procs", 3)?;
+    let f = args.usize_opt("f", 1)?;
+    let k = args.usize_opt("k", 1)?;
+    let p = args.usize_opt("p", 2)? as u32;
+    let rounds = args.usize_opt("rounds", 1)?;
+    let kpr = k.max(1).min(f.max(1));
+    let want_oracle = args.flag("oracle");
+    // Same value domain as the sweeps: k-set agreement over {0..=k}.
+    let values: BTreeSet<u64> = (0..=k as u64).collect();
+
+    let t0 = Instant::now();
+    let (id, t_build, oracle) = match model {
+        "async" => {
+            let (pool, id) = async_task_parts(&values, n, f, rounds);
+            let t = t0.elapsed();
+            let o = want_oracle.then(|| dense_oracle_timed(&pool, &id));
+            (id, t, o)
+        }
+        "sync" => {
+            let (pool, id) = sync_task_parts(&values, n, kpr, f, rounds);
+            let t = t0.elapsed();
+            let o = want_oracle.then(|| dense_oracle_timed(&pool, &id));
+            (id, t, o)
+        }
+        "semisync" => {
+            let (pool, id) = semisync_task_parts(&values, n, kpr, f, p, rounds);
+            let t = t0.elapsed();
+            let o = want_oracle.then(|| dense_oracle_timed(&pool, &id));
+            (id, t, o)
+        }
+        other => return Err(ArgError(format!("unknown model `{other}`"))),
+    };
+
+    let t_basis = Instant::now();
+    let mut pb = PreparedBoundary::of_id_complex(&id);
+    let t_basis = t_basis.elapsed();
+
+    let t_reduce = Instant::now();
+    let betti = pb.betti_mod2();
+    let t_reduce = t_reduce.elapsed();
+
+    // Warm re-query: every reduction is cached, so this measures pure
+    // cache-hit latency (the incremental-sweep case).
+    let t_warm = Instant::now();
+    let betti_warm = pb.betti_mod2();
+    let t_warm = t_warm.elapsed();
+    debug_assert_eq!(betti, betti_warm);
+
+    println!(
+        "{model} protocol complex: {n} processes, f = {f}, k = {k} \
+         (k/round = {kpr}), r = {rounds}"
+    );
+    println!(
+        "  f-vector: {:?}  ({} vertices, {} facets)",
+        pb.f_vector(),
+        id.vertex_count(),
+        id.facet_count()
+    );
+    println!("  Euler characteristic: {}", pb.euler_characteristic());
+    println!("  reduced mod-2 Betti numbers: {betti:?}");
+    let conn = match pb.homological_connectivity() {
+        i32::MAX => "∞ (all reduced mod-2 homology vanishes)".to_string(),
+        q => q.to_string(),
+    };
+    println!("  homological connectivity (mod 2): {conn}");
+    println!("  boundary columns assembled: {}", pb.assembled_columns());
+    println!("  reduction work: {}", pb.stats());
+    println!(
+        "  time: complex {:.3}s, basis {:.3}s, reduce {:.3}s, warm re-query {:.6}s \
+         (threads = {})",
+        t_build.as_secs_f64(),
+        t_basis.as_secs_f64(),
+        t_reduce.as_secs_f64(),
+        t_warm.as_secs_f64(),
+        ps_topology::parallel::configured_threads()
+    );
+    if let Some((dense, t_dense)) = oracle {
+        let verdict = if dense == betti { "agree" } else { "MISMATCH" };
+        println!("  dense oracle: {dense:?} in {t_dense:.3}s — {verdict}");
+        if dense != betti {
+            return Err(ArgError("sparse engine disagrees with dense oracle".into()));
+        }
+    }
+    Ok(())
+}
+
+/// Materializes the labelled complex and times the dense-oracle path
+/// (`Homology::betti_mod2_dense`) — the E20 baseline column. Cubic;
+/// only sensible for small instances (n ≤ 4).
+fn dense_oracle_timed<V: Label>(
+    pool: &ps_topology::VertexPool<V>,
+    id: &ps_topology::IdComplex,
+) -> (Vec<usize>, f64) {
+    use ps_topology::Homology;
+    let c = Complex::from_interned(pool, id);
+    let t = std::time::Instant::now();
+    let b = Homology::betti_mod2_dense(&c);
+    (b, t.elapsed().as_secs_f64())
+}
+
+/// One corpus entry: sparse engine vs dense oracle vs the Euler
+/// invariant. Returns the table row and whether all three agree.
+fn corpus_row<V: Label>(name: &str, c: &Complex<V>) -> (String, bool) {
+    use ps_topology::Homology;
+    let sparse = Homology::betti_mod2(c);
+    let dense = Homology::betti_mod2_dense(c);
+    // Reduced homology: χ = 1 + Σ_d (−1)^d b̃_d for non-void complexes.
+    let chi: i64 = 1 + sparse
+        .iter()
+        .enumerate()
+        .map(|(d, &b)| if d % 2 == 0 { b as i64 } else { -(b as i64) })
+        .sum::<i64>();
+    let euler_ok = c.dim() < 0 || chi == c.euler_characteristic();
+    let ok = sparse == dense && euler_ok;
+    let verdict = match (sparse == dense, euler_ok) {
+        (true, true) => "ok",
+        (false, _) => "MISMATCH",
+        (true, false) => "EULER MISMATCH",
+    };
+    let row = format!(
+        "{name:<34} {:>3} {:<22} {:<22} {verdict}",
+        c.dim(),
+        format!("{sparse:?}"),
+        format!("{dense:?}")
+    );
+    (row, ok)
+}
+
+/// Corpus mode: fixed topological fixtures, protocol complexes (n ≤ 4),
+/// and LCG-randomized small complexes, each pushed through both the
+/// sparse engine (`Homology::betti_mod2`) and the dense oracle
+/// (`Homology::betti_mod2_dense`) and diffed byte-for-byte. Exits
+/// nonzero on any disagreement — the CI homology-equivalence job runs
+/// this under `PS_THREADS=1` and the default thread count.
+fn homology_corpus(args: &Args) -> Result<(), ArgError> {
+    use ps_agreement::{
+        async_task_complex, semisync_task_complex, sync_task_complex, KSetAgreement,
+    };
+    use ps_topology::Simplex;
+
+    let trials = args.usize_opt("trials", 32)?;
+    let seed = args.u64_opt("seed", 0xC0FFEE)?;
+    let s = |vs: &[u32]| Simplex::from_iter(vs.iter().copied());
+
+    println!(
+        "homology corpus: sparse engine vs dense oracle (threads = {})",
+        ps_topology::parallel::configured_threads()
+    );
+    println!(
+        "{:<34} {:>3} {:<22} {:<22} verdict",
+        "complex", "dim", "betti (sparse)", "betti (dense)"
+    );
+
+    let mut rows: Vec<(String, bool)> = Vec::new();
+
+    // Fixed fixtures with known homology.
+    let fixed: Vec<(&str, Complex<u32>)> = vec![
+        ("void", Complex::from_facets(Vec::<Simplex<u32>>::new())),
+        ("point", Complex::from_facets([s(&[0])])),
+        ("two points", Complex::from_facets([s(&[0]), s(&[7])])),
+        (
+            "solid simplex Δ⁴",
+            Complex::simplex(Simplex::from_iter(0u32..5)),
+        ),
+        (
+            "circle S¹",
+            Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]),
+        ),
+        (
+            "sphere S²",
+            Complex::simplex(Simplex::from_iter(0u32..4)).skeleton(2),
+        ),
+        (
+            "sphere S³",
+            Complex::simplex(Simplex::from_iter(0u32..5)).skeleton(3),
+        ),
+        (
+            "sphere S⁴",
+            Complex::simplex(Simplex::from_iter(0u32..6)).skeleton(4),
+        ),
+        ("wedge of two circles", {
+            Complex::from_facets([
+                s(&[0, 1]),
+                s(&[1, 2]),
+                s(&[0, 2]),
+                s(&[0, 3]),
+                s(&[3, 4]),
+                s(&[0, 4]),
+            ])
+        }),
+        ("wedge of two spheres", {
+            let a = Complex::simplex(Simplex::from_iter(0u32..4)).skeleton(2);
+            let b = Complex::simplex(Simplex::from_iter([0u32, 4, 5, 6])).skeleton(2);
+            let facets: Vec<Simplex<u32>> = a.facets().chain(b.facets()).cloned().collect();
+            Complex::from_facets(facets)
+        }),
+        ("torus T² (Möbius, 7 vertices)", {
+            let mut facets = Vec::new();
+            for i in 0u32..7 {
+                facets.push(Simplex::from_iter([i, (i + 1) % 7, (i + 3) % 7]));
+                facets.push(Simplex::from_iter([i, (i + 2) % 7, (i + 3) % 7]));
+            }
+            Complex::from_facets(facets)
+        }),
+        ("projective plane RP²₆", {
+            let rp2: [[u32; 3]; 10] = [
+                [1, 2, 5],
+                [1, 2, 6],
+                [1, 3, 4],
+                [1, 3, 6],
+                [1, 4, 5],
+                [2, 3, 4],
+                [2, 3, 5],
+                [2, 4, 6],
+                [3, 5, 6],
+                [4, 5, 6],
+            ];
+            Complex::from_facets(rp2.iter().map(|f| Simplex::from_iter(f.iter().copied())))
+        }),
+        ("disconnected (triangle + edge)", {
+            Complex::from_facets([s(&[0, 1, 2]), s(&[4, 5])])
+        }),
+    ];
+    for (name, c) in &fixed {
+        rows.push(corpus_row(name, c));
+    }
+
+    // Protocol complexes, n ≤ 4 (small enough for the dense oracle).
+    let k1 = KSetAgreement::canonical(1);
+    let k2 = KSetAgreement::canonical(2);
+    rows.push(corpus_row(
+        "sync n=3 f=1 k=1 r=1",
+        &sync_task_complex(&k1, 3, 1, 1, 1),
+    ));
+    rows.push(corpus_row(
+        "sync n=3 f=1 k=1 r=2",
+        &sync_task_complex(&k1, 3, 1, 1, 2),
+    ));
+    rows.push(corpus_row(
+        "sync n=4 f=2 k=2 r=1",
+        &sync_task_complex(&k2, 4, 2, 2, 1),
+    ));
+    rows.push(corpus_row(
+        "async n=3 f=1 r=1",
+        &async_task_complex(&k1, 3, 1, 1),
+    ));
+    rows.push(corpus_row(
+        "semisync n=3 f=1 k=1 p=2 r=1",
+        &semisync_task_complex(&k1, 3, 1, 1, 2, 1),
+    ));
+
+    // LCG-randomized small complexes: facets are random subsets of
+    // up to 8 vertices, sizes 1..=4 — the same shape as the proptest
+    // strategy in tests/homology_sparse_equivalence.rs.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for t in 0..trials {
+        let n_facets = 1 + (next() as usize) % 8;
+        let mut facets = Vec::with_capacity(n_facets);
+        for _ in 0..n_facets {
+            let size = 1 + (next() as usize) % 4;
+            let verts: BTreeSet<u32> = (0..size).map(|_| (next() % 8) as u32).collect();
+            facets.push(Simplex::from_iter(verts));
+        }
+        let c = Complex::from_facets(facets);
+        rows.push(corpus_row(&format!("random #{t} (seed {seed:#x})"), &c));
+    }
+
+    let mut failures = 0usize;
+    for (row, ok) in &rows {
+        println!("{row}");
+        if !ok {
+            failures += 1;
+        }
+    }
+    println!("{} complexes checked, {} mismatches", rows.len(), failures);
+    if failures > 0 {
+        return Err(ArgError(format!(
+            "homology corpus: {failures} sparse/dense disagreements"
+        )));
+    }
     Ok(())
 }
 

@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, HashMap};
 use crate::intern::IdSimplex;
 use crate::matrix::{BitMatrix, IntMatrix};
 use crate::parallel;
-use crate::sparse::SparseBitMatrix;
+use crate::sparse_gf2::SparseGf2Matrix;
 use crate::{Complex, Label, Simplex};
 
 /// The boundary matrices of a simplicial complex, with simplex indexing.
@@ -114,12 +114,13 @@ impl<V: Label> ChainComplex<V> {
         m
     }
 
-    /// The boundary matrix `∂_d` over GF(2) in sparse column form —
+    /// The boundary matrix `∂_d` over GF(2) in sparse word-block form —
     /// the preferred representation for large complexes (see
-    /// [`crate::sparse`]). Semantics match [`ChainComplex::boundary_bit`].
-    pub fn boundary_sparse(&self, d: i32) -> SparseBitMatrix {
+    /// [`crate::sparse_gf2`]). Semantics match
+    /// [`ChainComplex::boundary_bit`].
+    pub fn boundary_sparse(&self, d: i32) -> SparseGf2Matrix {
         if d < 0 || d as usize >= self.basis.len() {
-            return SparseBitMatrix::zero(
+            return SparseGf2Matrix::zero(
                 self.rank_of_chain_group(d - 1).max(usize::from(d == 0)),
                 0,
             );
@@ -127,18 +128,18 @@ impl<V: Label> ChainComplex<V> {
         let d = d as usize;
         let cols = self.basis[d].len();
         if d == 0 {
-            return SparseBitMatrix::from_columns(1, vec![vec![0]; cols]);
+            return SparseGf2Matrix::from_columns(1, vec![vec![0]; cols]);
         }
         let rows = self.basis[d - 1].len();
         let columns = self.id_basis[d]
             .iter()
             .map(|s| {
                 s.boundary_faces()
-                    .map(|face| self.id_index_of(d - 1, &face))
+                    .map(|face| self.id_index_of(d - 1, &face) as u32)
                     .collect()
             })
             .collect();
-        SparseBitMatrix::from_columns(rows, columns)
+        SparseGf2Matrix::from_columns(rows, columns)
     }
 
     /// [`ChainComplex::boundary_bit`] with assembly sharded into row

@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::{Complex, Homology, Label, Simplex};
+use crate::{Complex, Homology, Label, PreparedBoundary, Simplex};
 
 /// Outcome of a `k`-connectivity query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -289,20 +289,32 @@ impl ConnectivityAnalyzer {
         Self::mod2_with_threads(k, crate::parallel::configured_threads())
     }
 
-    /// [`ConnectivityAnalyzer::mod2`] on up to `threads` threads (the
-    /// per-dimension GF(2) rank jobs run concurrently; byte-identical to
-    /// the serial path).
+    /// [`ConnectivityAnalyzer::mod2`] on up to `threads` threads (with
+    /// `threads > 1` the per-dimension GF(2) reduction jobs run
+    /// concurrently; byte-identical to the serial path, which instead
+    /// reduces lazily bottom-up and stops at the first non-zero Betti
+    /// number).
     pub fn mod2_with_threads<V: Label>(k: &Complex<V>, threads: usize) -> Self {
-        let b2 = Homology::betti_mod2_with_threads(k, threads);
-        let void = b2.is_empty() && k.is_void();
-        let homological = if void {
-            -2
-        } else {
-            b2.iter()
-                .position(|&b| b != 0)
-                .map(|d| d as i32 - 1)
-                .unwrap_or(i32::MAX)
-        };
+        let mut pb = PreparedBoundary::of_complex(k);
+        Self::mod2_prepared(&mut pb, k, threads)
+    }
+
+    /// [`ConnectivityAnalyzer::mod2_with_threads`] over an existing
+    /// [`PreparedBoundary`] of `k`: assembled columns and reduced
+    /// prefixes cached in `pb` (by earlier connectivity or Betti
+    /// queries) are reused instead of re-reduced, and whatever this call
+    /// reduces stays cached for the next one.
+    ///
+    /// `k` must be the complex `pb` was prepared from; it is only
+    /// consulted for the π₁ / collapsibility certificates, which need
+    /// the face lattice rather than the boundary matrices.
+    pub fn mod2_prepared<V: Label>(
+        pb: &mut PreparedBoundary,
+        k: &Complex<V>,
+        threads: usize,
+    ) -> Self {
+        let homological = pb.homological_connectivity_with_threads(threads);
+        let void = homological == -2;
         let contractible_cert = if homological == i32::MAX {
             is_collapsible(k)
         } else {

@@ -9,6 +9,7 @@
 
 use crate::chain::ChainComplex;
 use crate::parallel;
+use crate::prepared::PreparedBoundary;
 use crate::{Complex, Label};
 
 /// An integral homology group `ℤ^betti ⊕ ℤ/t_1 ⊕ ... ⊕ ℤ/t_s`.
@@ -79,6 +80,13 @@ pub struct Homology {
 impl Homology {
     /// Computes reduced integral homology of `k` via Smith normal forms.
     ///
+    /// This is the exact, torsion-aware path; its dense `IntMatrix`
+    /// elimination is cubic and intended for *small* complexes (up to a
+    /// few thousand simplexes). For the 10^5-facet protocol complexes,
+    /// use [`Homology::betti_mod2`] (sparse GF(2); no torsion) — mod-2
+    /// Betti numbers dominate integral ones by universal coefficients,
+    /// so they are sound for connectivity refutations.
+    ///
     /// Runs on the configured thread count
     /// ([`parallel::configured_threads`]); use
     /// [`Homology::reduced_with_threads`] for explicit control. The
@@ -127,9 +135,10 @@ impl Homology {
 
     /// Computes reduced Betti numbers over GF(2) only (fast path; no
     /// torsion). Index `d` of the result is the reduced `d`-th Betti
-    /// number mod 2. Uses the sparse low-pivot reduction of
-    /// [`crate::sparse`], which handles the thousands-of-facets protocol
-    /// complexes the dense engine cannot.
+    /// number mod 2. Uses the bit-packed low-pivot reduction of
+    /// [`crate::sparse_gf2`] via [`PreparedBoundary`] (with the clearing
+    /// optimization on the serial path), which handles the
+    /// 10^5-facet protocol complexes the dense engine cannot.
     /// Runs on the configured thread count; see
     /// [`Homology::betti_mod2_with_threads`].
     pub fn betti_mod2<V: Label>(k: &Complex<V>) -> Vec<usize> {
@@ -137,16 +146,32 @@ impl Homology {
     }
 
     /// [`Homology::betti_mod2`] on up to `threads` threads: one sparse
-    /// rank job per dimension, merged by dimension index (byte-identical
-    /// to `threads = 1`).
+    /// reduction job per dimension, merged by dimension index
+    /// (byte-identical to `threads = 1`).
+    ///
+    /// For repeated queries against one complex — sweeps, bounded
+    /// connectivity checks — build a [`PreparedBoundary`] instead and
+    /// reuse its cached columns and reductions.
     pub fn betti_mod2_with_threads<V: Label>(k: &Complex<V>, threads: usize) -> Vec<usize> {
+        PreparedBoundary::of_complex(k).betti_mod2_with_threads(threads)
+    }
+
+    /// Dense GF(2) oracle for [`Homology::betti_mod2`]: the same Betti
+    /// numbers through `BitMatrix` Gaussian elimination, `O(rows × cols
+    /// × words)` per boundary with no sparsity, clearing, or caching.
+    ///
+    /// This exists purely as an independent implementation for
+    /// differential testing (the `homology-equivalence` CI corpus and
+    /// the proptest suite diff it against the sparse engine); production
+    /// callers must use the sparse path, which is the only one that
+    /// survives 10^5-facet complexes.
+    pub fn betti_mod2_dense<V: Label>(k: &Complex<V>) -> Vec<usize> {
         let cc = ChainComplex::of(k);
         let dim = cc.dim();
         if dim < 0 {
             return Vec::new();
         }
-        let dims: Vec<i32> = (0..=dim + 1).collect();
-        let rank = parallel::parallel_map(&dims, threads, |_, &d| cc.boundary_sparse(d).rank());
+        let rank: Vec<usize> = (0..=dim + 1).map(|d| cc.boundary_bit(d).rank()).collect();
         (0..=dim)
             .map(|d| cc.rank_of_chain_group(d) - rank[d as usize] - rank[(d + 1) as usize])
             .collect()
@@ -386,6 +411,28 @@ mod tests {
                 Homology::betti_mod2_with_threads(&c, threads),
                 serial_b2,
                 "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_oracle_matches_sparse_engine() {
+        let mut torus_facets = Vec::new();
+        for i in 0u32..7 {
+            torus_facets.push(Simplex::from_iter([i, (i + 1) % 7, (i + 3) % 7]));
+            torus_facets.push(Simplex::from_iter([i, (i + 2) % 7, (i + 3) % 7]));
+        }
+        for c in [
+            Complex::<u32>::new(),
+            Complex::simplex(s(&[0, 1, 2, 3])).skeleton(2),
+            Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]),
+            Complex::from_facets([s(&[0]), s(&[1])]),
+            Complex::from_facets(torus_facets),
+        ] {
+            assert_eq!(
+                Homology::betti_mod2(&c),
+                Homology::betti_mod2_dense(&c),
+                "{c:?}"
             );
         }
     }

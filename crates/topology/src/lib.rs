@@ -56,7 +56,10 @@ pub mod matrix;
 
 pub mod parallel;
 
-pub mod sparse;
+pub mod sparse_gf2;
+
+mod prepared;
+pub use prepared::PreparedBoundary;
 
 mod chain;
 pub use chain::ChainComplex;

@@ -103,6 +103,14 @@ impl BitMatrix {
     }
 
     /// Rank over GF(2), by in-place Gaussian elimination on a copy.
+    ///
+    /// **Oracle only.** This clones and mutates the full dense matrix —
+    /// `O(rows × cols)` memory and `O(rows × cols × words)` time — which
+    /// is exactly what makes it untenable on 10^5-column boundary
+    /// matrices. Production rank queries go through
+    /// [`crate::sparse_gf2::SparseGf2Matrix`]; the dense path is kept
+    /// reachable (here and via [`crate::Homology::betti_mod2_dense`])
+    /// as an independent implementation for differential testing.
     pub fn rank(&self) -> usize {
         let mut m = self.clone();
         let mut rank = 0;
